@@ -1,0 +1,93 @@
+"""Ablation benches for ERASER's design choices (DESIGN.md section 5).
+
+Three knobs the paper motivates qualitatively are swept here:
+
+* the speculation threshold (at least half of the neighbouring checks) versus
+  a more conservative 1-flip trigger and a more aggressive all-flips trigger,
+* the number of backup entries in the SWAP Lookup Table, and
+* decoding-graph matching engine (exact blossom vs greedy), which trades
+  decode latency for accuracy.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.policies.eraser import EraserPolicy
+from repro.experiments.memory import MemoryExperiment
+from repro.noise.leakage import LeakageModel
+from repro.noise.model import NoiseParams
+
+
+def _run_policy(policy, distance, shots, seed, method="auto"):
+    experiment = MemoryExperiment(
+        code=RotatedSurfaceCode(distance),
+        policy=policy,
+        noise=NoiseParams.standard(1e-3),
+        leakage=LeakageModel.standard(1e-3),
+        cycles=10,
+        decode=True,
+        decoder_method=method,
+        seed=seed,
+    )
+    return experiment.run(shots)
+
+
+def _run(distance, shots, seed):
+    threshold_results = {
+        threshold: _run_policy(
+            EraserPolicy(speculation_threshold_override=threshold), distance, shots, seed
+        )
+        for threshold in (1, 2, 4)
+    }
+    backup_results = {
+        backups: _run_policy(EraserPolicy(num_backups=backups), distance, shots, seed)
+        for backups in (0, 1, 3)
+    }
+    matcher_results = {
+        method: _run_policy(EraserPolicy(), distance, max(10, shots // 2), seed, method=method)
+        for method in ("mwpm", "greedy")
+    }
+    return threshold_results, backup_results, matcher_results
+
+
+def test_ablation_design_choices(benchmark, shots, max_distance, seed):
+    distance = min(max_distance, 5)
+    thresholds, backups, matchers = benchmark.pedantic(
+        _run, args=(distance, shots, seed), iterations=1, rounds=1
+    )
+
+    rows = [
+        [f"threshold={t}", r.lrcs_per_round, 100 * r.speculation.false_positive_rate,
+         100 * r.speculation.false_negative_rate, r.logical_error_rate]
+        for t, r in thresholds.items()
+    ]
+    rows += [
+        [f"backups={b}", r.lrcs_per_round, 100 * r.speculation.false_positive_rate,
+         100 * r.speculation.false_negative_rate, r.logical_error_rate]
+        for b, r in backups.items()
+    ]
+    rows += [
+        [f"matcher={m}", r.lrcs_per_round, 100 * r.speculation.false_positive_rate,
+         100 * r.speculation.false_negative_rate, r.logical_error_rate]
+        for m, r in matchers.items()
+    ]
+    emit(
+        f"Ablations (d={distance}): speculation threshold, SWAP-table backups, matcher",
+        format_table(
+            ["configuration", "LRCs/round", "FPR %", "FNR %", "LER"],
+            rows,
+            float_format="{:.3g}",
+        ),
+    )
+
+    # A conservative 1-flip trigger schedules more LRCs (higher FPR) than the
+    # paper's majority rule; an aggressive all-flips trigger schedules fewer
+    # but misses more leakage (higher FNR).
+    assert thresholds[1].lrcs_per_round >= thresholds[2].lrcs_per_round
+    assert thresholds[4].lrcs_per_round <= thresholds[2].lrcs_per_round
+    fnr_majority = thresholds[2].speculation.false_negative_rate
+    fnr_aggressive = thresholds[4].speculation.false_negative_rate
+    assert fnr_aggressive >= fnr_majority - 0.05
+    # Having at least one backup never reduces the number of served requests.
+    assert backups[1].lrcs_per_round >= backups[0].lrcs_per_round - 0.05

@@ -1,0 +1,55 @@
+"""Figure 16: LRC speculation accuracy, false-positive and false-negative rates.
+
+The paper reports ~97% accuracy for ERASER/ERASER+M versus ~50% for
+Always-LRCs, a ~3% FPR for the adaptive policies versus ~50% for the static
+one, and a high (~40-50%) FNR dominated by hard-to-detect leakage.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.experiments.sweep import compare_policies
+
+POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
+
+
+def _run(distances, shots, seed):
+    return compare_policies(
+        distances=distances,
+        policies=POLICIES,
+        p=1e-3,
+        cycles=10,
+        shots=shots,
+        decode=False,
+        seed=seed,
+    )
+
+
+def test_fig16_speculation_quality(benchmark, shots, distances, seed):
+    sweep = benchmark.pedantic(_run, args=(distances, shots, seed), iterations=1, rounds=1)
+    rows = []
+    for result in sweep:
+        spec = result.speculation
+        rows.append(
+            [
+                result.distance,
+                result.policy,
+                100.0 * spec.accuracy,
+                100.0 * spec.false_positive_rate,
+                100.0 * spec.false_negative_rate,
+            ]
+        )
+    emit(
+        "Figure 16: speculation accuracy / FPR / FNR (percent)",
+        format_table(["d", "policy", "accuracy", "FPR", "FNR"], rows, float_format="{:.1f}"),
+    )
+    d = max(distances)
+    always = sweep.filter(policy="always-lrc", distance=d).results[0].speculation
+    eraser = sweep.filter(policy="eraser", distance=d).results[0].speculation
+    optimal = sweep.filter(policy="optimal", distance=d).results[0].speculation
+    # Shape checks straight from the paper's discussion.
+    assert always.accuracy < 0.7
+    assert eraser.accuracy > 0.9
+    assert eraser.false_positive_rate < 0.1
+    assert always.false_positive_rate > 0.4
+    assert optimal.accuracy >= eraser.accuracy

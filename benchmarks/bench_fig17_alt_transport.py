@@ -1,0 +1,55 @@
+"""Figures 17-18: the alternative (exchange) leakage-transport model.
+
+Under the Appendix A.1 model leakage is exchanged rather than duplicated by a
+transport event, so every policy improves and the overall leakage population
+is much lower; ERASER's advantage over Always-LRCs widens.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import series_table
+from repro.experiments.sweep import compare_policies
+from repro.noise.leakage import LeakageTransportModel
+
+POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
+
+
+def _run(distances, shots, seed):
+    exchange = compare_policies(
+        distances=distances,
+        policies=POLICIES,
+        p=1e-3,
+        cycles=10,
+        shots=shots,
+        transport_model=LeakageTransportModel.EXCHANGE,
+        seed=seed,
+    )
+    remain = compare_policies(
+        distances=[max(distances)],
+        policies=("always-lrc",),
+        p=1e-3,
+        cycles=10,
+        shots=shots,
+        transport_model=LeakageTransportModel.REMAIN,
+        decode=False,
+        seed=seed,
+    )
+    return exchange, remain
+
+
+def test_fig17_alternative_transport_model(benchmark, shots, distances, seed):
+    exchange, remain = benchmark.pedantic(
+        _run, args=(distances, shots, seed), iterations=1, rounds=1
+    )
+    emit(
+        "Figure 17: LER vs distance under the exchange transport model",
+        exchange.format_table() + "\n\n" + series_table(exchange.ler_table(), x_label="distance"),
+    )
+    d = max(distances)
+    always_exchange = exchange.filter(policy="always-lrc", distance=d).results[0]
+    always_remain = remain.results[0]
+    # Figure 18: the exchange model carries a lower leakage population than
+    # the conservative remain model.
+    assert always_exchange.mean_lpr <= always_remain.mean_lpr * 1.05
+    table = exchange.ler_table()
+    assert table["optimal"][d] <= table["always-lrc"][d] + 2.0 / shots

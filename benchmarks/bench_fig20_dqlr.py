@@ -1,0 +1,58 @@
+"""Figures 20-21: scheduling Google's DQLR protocol with ERASER.
+
+The baseline applies the LeakageISWAP-based removal to every data qubit every
+round; ERASER/ERASER+M schedule it speculatively and the Optimal oracle only
+when a data qubit is actually leaked.  The paper reports a 1.8-2.6x LER
+improvement for adaptive scheduling and a ~1.4-1.5x LPR reduction.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table, series_table
+from repro.dqlr.protocol import run_dqlr_comparison
+
+POLICIES = ("dqlr", "eraser", "eraser+m", "optimal")
+
+
+def _run(distances, shots, seed):
+    return run_dqlr_comparison(
+        distances=distances,
+        policies=POLICIES,
+        p=1e-3,
+        cycles=10,
+        shots=shots,
+        seed=seed,
+    )
+
+
+def test_fig20_dqlr_scheduling(benchmark, shots, distances, seed):
+    sweep = benchmark.pedantic(_run, args=(distances, shots, seed), iterations=1, rounds=1)
+    rows = []
+    for result in sweep:
+        rows.append(
+            [
+                result.distance,
+                result.policy,
+                result.logical_error_rate,
+                result.mean_lpr,
+                result.lrcs_per_round,
+            ]
+        )
+    emit(
+        "Figures 20-21: DQLR scheduling comparison",
+        format_table(
+            ["d", "policy", "LER", "mean LPR", "ops/round"], rows, float_format="{:.3e}"
+        )
+        + "\n\n"
+        + series_table(sweep.ler_table(), x_label="distance"),
+    )
+    d = max(distances)
+    baseline = sweep.filter(policy="dqlr", distance=d).results[0]
+    eraser = sweep.filter(policy="eraser", distance=d).results[0]
+    optimal = sweep.filter(policy="optimal", distance=d).results[0]
+    # Shape checks: adaptive scheduling uses far fewer removal operations and
+    # the oracle bounds the baseline from below.  (The ERASER-vs-baseline LER
+    # gap the paper reports needs more shots than a laptop run to resolve, so
+    # it is printed above rather than asserted.)
+    assert eraser.lrcs_per_round < baseline.lrcs_per_round / 3.0
+    assert optimal.logical_error_rate <= baseline.logical_error_rate + 3.0 / shots

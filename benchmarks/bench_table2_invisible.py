@@ -1,0 +1,25 @@
+"""Table 2: probability that a leaked data qubit stays invisible for r rounds."""
+
+from conftest import emit
+
+from repro.analysis.analytic import invisible_leakage_table, paper_table2
+from repro.analysis.tables import format_table
+
+
+def _run():
+    return invisible_leakage_table(max_rounds=3)
+
+
+def test_table2_invisible_leakage(benchmark):
+    table = benchmark.pedantic(_run, iterations=1, rounds=5)
+    published = paper_table2()
+    rows = [
+        (rounds, probability, published[rounds])
+        for rounds, probability in table
+    ]
+    emit(
+        "Table 2: invisible leakage probability (%)",
+        format_table(["rounds invisible", "measured %", "paper %"], rows),
+    )
+    for rounds, probability in table:
+        assert abs(probability - published[rounds]) < 0.06

@@ -1,0 +1,51 @@
+"""Table 3: FPGA resource utilisation and latency of the ERASER controller."""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.hardware.cost_model import FpgaCostModel
+from repro.hardware.rtl_gen import generate_eraser_rtl
+
+DISTANCES = (3, 5, 7, 9, 11)
+
+
+def _run():
+    model = FpgaCostModel()
+    resources = model.table(list(DISTANCES))
+    rtl_lines = {d: len(generate_eraser_rtl(d).splitlines()) for d in DISTANCES}
+    return resources, rtl_lines
+
+
+def test_table3_fpga_cost(benchmark):
+    resources, rtl_lines = benchmark.pedantic(_run, iterations=1, rounds=1)
+    published = FpgaCostModel.paper_table3()
+    rows = []
+    for res in resources:
+        paper = published[res.distance]
+        rows.append(
+            [
+                res.distance,
+                res.luts,
+                res.lut_percent,
+                paper["lut_percent"],
+                res.flip_flops,
+                res.ff_percent,
+                paper["ff_percent"],
+                res.latency_ns,
+                rtl_lines[res.distance],
+            ]
+        )
+    emit(
+        "Table 3: ERASER on Kintex UltraScale+ (model vs paper)",
+        format_table(
+            ["d", "LUTs", "LUT %", "paper LUT %", "FFs", "FF %", "paper FF %", "ns", "RTL lines"],
+            rows,
+            float_format="{:.2f}",
+        ),
+    )
+    for res in resources:
+        paper = published[res.distance]
+        assert res.lut_percent < 1.0 and res.ff_percent < 1.0
+        # Within a small constant factor of the published utilisation.
+        assert res.lut_percent < 3.0 * paper["lut_percent"] + 0.05
+        assert res.ff_percent < 3.0 * paper["ff_percent"] + 0.05

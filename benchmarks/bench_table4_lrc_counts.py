@@ -1,0 +1,54 @@
+"""Table 4: average number of LRCs scheduled per syndrome-extraction round.
+
+The paper reports that ERASER and ERASER+M schedule ~16x fewer LRCs per round
+than Always-LRCs while the Optimal oracle schedules fewer still.
+"""
+
+from conftest import emit
+
+from repro.analysis.analytic import expected_lrcs_per_round_always
+from repro.analysis.tables import format_table
+from repro.experiments.sweep import compare_policies
+
+POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
+
+PAPER_TABLE4 = {
+    3: {"always-lrc": 4.2, "eraser": 0.27, "eraser+m": 0.26, "optimal": 0.005},
+    5: {"always-lrc": 12.0, "eraser": 0.81, "eraser+m": 0.79, "optimal": 0.015},
+    7: {"always-lrc": 24.0, "eraser": 1.52, "eraser+m": 1.50, "optimal": 0.034},
+    9: {"always-lrc": 40.0, "eraser": 2.40, "eraser+m": 2.38, "optimal": 0.058},
+    11: {"always-lrc": 60.0, "eraser": 3.45, "eraser+m": 3.41, "optimal": 0.089},
+}
+
+
+def _run(distances, shots, seed):
+    return compare_policies(
+        distances=distances,
+        policies=POLICIES,
+        p=1e-3,
+        cycles=10,
+        shots=shots,
+        decode=False,
+        seed=seed,
+    )
+
+
+def test_table4_lrcs_per_round(benchmark, shots, distances, seed):
+    sweep = benchmark.pedantic(_run, args=(distances, shots, seed), iterations=1, rounds=1)
+    table = sweep.lrc_table()
+    rows = []
+    for d in distances:
+        for policy in POLICIES:
+            rows.append([d, policy, table[policy][d], PAPER_TABLE4[d][policy]])
+    emit(
+        "Table 4: average LRCs per round (measured vs paper)",
+        format_table(["d", "policy", "measured", "paper"], rows, float_format="{:.3f}"),
+    )
+    for d in distances:
+        measured_always = table["always-lrc"][d]
+        # The static baseline matches the analytic d*d/2 count closely.
+        assert abs(measured_always - expected_lrcs_per_round_always(d)) < 1.5
+        # ERASER schedules at least 4x fewer LRCs than Always-LRCs.
+        assert table["eraser"][d] < measured_always / 4.0
+        # The oracle schedules the fewest.
+        assert table["optimal"][d] <= table["eraser"][d] + 0.05

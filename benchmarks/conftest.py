@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates the data behind one table or figure of the paper
+and prints it (run pytest with ``-s`` to see the tables).  Because the paper's
+own evaluation used 10M-100M shots on a cluster, the defaults here are scaled
+to laptop budgets; two environment variables let you trade time for precision:
+
+* ``ERASER_REPRO_SHOTS`` — shots per configuration (default 200).
+* ``ERASER_REPRO_MAX_DISTANCE`` — largest code distance swept (default 5).
+"""
+
+import os
+
+import pytest
+
+
+def _int_env(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def shots() -> int:
+    """Monte-Carlo shots per configuration."""
+    return _int_env("ERASER_REPRO_SHOTS", 200)
+
+
+@pytest.fixture(scope="session")
+def max_distance() -> int:
+    """Largest code distance included in distance sweeps."""
+    return _int_env("ERASER_REPRO_MAX_DISTANCE", 5)
+
+
+@pytest.fixture(scope="session")
+def distances(max_distance) -> list:
+    return [d for d in (3, 5, 7, 9, 11) if d <= max_distance]
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return _int_env("ERASER_REPRO_SEED", 20231028)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a titled block (visible with ``pytest -s``)."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    print(body)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Estimate the hardware cost of the ERASER controller and generate its RTL.
+
+Reproduces Table 3: LUT/FF utilisation of the ERASER block on a Kintex
+UltraScale+ FPGA for distances 3-11, plus the worst-case speculation latency.
+Also emits the SystemVerilog for one distance, mirroring the paper artifact's
+``eraser_rtl_gen`` tool.
+
+Run with::
+
+    python examples/controller_hardware.py [--rtl-distance 9] [--output eraser_d9.sv]
+"""
+
+import argparse
+
+from repro.analysis.tables import format_table
+from repro.hardware.cost_model import FpgaCostModel
+from repro.hardware.rtl_gen import generate_eraser_rtl, write_eraser_rtl
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distances", type=int, nargs="+", default=[3, 5, 7, 9, 11])
+    parser.add_argument("--rtl-distance", type=int, default=9)
+    parser.add_argument("--output", type=str, default=None)
+    parser.add_argument("--multilevel", action="store_true",
+                        help="Model/emit the ERASER+M variant instead")
+    args = parser.parse_args()
+
+    model = FpgaCostModel(multilevel=args.multilevel)
+    published = FpgaCostModel.paper_table3()
+    rows = []
+    for resources in model.table(args.distances):
+        paper = published.get(resources.distance, {})
+        rows.append(
+            [
+                resources.distance,
+                resources.luts,
+                resources.lut_percent,
+                paper.get("lut_percent", float("nan")),
+                resources.flip_flops,
+                resources.ff_percent,
+                paper.get("ff_percent", float("nan")),
+                resources.latency_ns,
+            ]
+        )
+    print("FPGA cost model vs Table 3 (Kintex UltraScale+ xcku3p)")
+    print(format_table(
+        ["d", "LUTs", "LUT %", "paper LUT %", "FFs", "FF %", "paper FF %", "latency ns"],
+        rows,
+        float_format="{:.2f}",
+    ))
+
+    rtl = generate_eraser_rtl(args.rtl_distance, multilevel=args.multilevel)
+    lines = len(rtl.splitlines())
+    print(f"\nGenerated SystemVerilog for d={args.rtl_distance}: {lines} lines")
+    if args.output:
+        write_eraser_rtl(args.output, args.rtl_distance, multilevel=args.multilevel)
+        print(f"Wrote {args.output}")
+    else:
+        preview = "\n".join(rtl.splitlines()[:25])
+        print("First 25 lines:\n" + preview)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare the paper's LRC scheduling policies head to head.
+
+Reproduces the qualitative content of Figures 14-16 and Table 4 at laptop
+scale: for each distance it reports, per policy, the logical error rate, the
+leakage population ratio, the number of LRCs scheduled per round, and the
+speculation accuracy / false-positive / false-negative rates.
+
+Run with::
+
+    python examples/policy_comparison.py [--distances 3 5] [--shots 150]
+"""
+
+import argparse
+
+from repro.analysis.tables import format_table, series_table
+from repro.experiments.sweep import compare_policies
+
+POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distances", type=int, nargs="+", default=[3, 5])
+    parser.add_argument("--shots", type=int, default=150)
+    parser.add_argument("--cycles", type=int, default=10)
+    parser.add_argument("--p", type=float, default=1e-3)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Sweeping distances {args.distances} with {args.shots} shots per point "
+          f"(p = {args.p:g}, {args.cycles} QEC cycles)...\n")
+    sweep = compare_policies(
+        distances=args.distances,
+        policies=POLICIES,
+        p=args.p,
+        cycles=args.cycles,
+        shots=args.shots,
+        seed=args.seed,
+    )
+
+    print("Per-configuration summary")
+    print("-" * 80)
+    print(sweep.format_table())
+
+    print("\nLogical error rate vs distance (Figure 14 shape)")
+    print(series_table(sweep.ler_table(), x_label="distance"))
+
+    print("\nAverage LRCs per round (Table 4 shape)")
+    print(series_table(sweep.lrc_table(), x_label="distance"))
+
+    rows = []
+    for result in sweep:
+        spec = result.speculation
+        rows.append(
+            [
+                result.distance,
+                result.policy,
+                100.0 * spec.accuracy,
+                100.0 * spec.false_positive_rate,
+                100.0 * spec.false_negative_rate,
+            ]
+        )
+    print("\nSpeculation quality (Figure 16 shape)")
+    print(format_table(["d", "policy", "accuracy %", "FPR %", "FNR %"], rows))
+
+    always = sweep.ler_table().get("always-lrc", {})
+    eraser = sweep.ler_table().get("eraser", {})
+    for distance in args.distances:
+        if distance in always and distance in eraser and eraser[distance] > 0:
+            print(f"\nERASER improves the LER over Always-LRCs by "
+                  f"{always[distance] / eraser[distance]:.1f}x at d={distance}")
+
+
+if __name__ == "__main__":
+    main()

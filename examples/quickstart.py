@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: run a memory experiment with ERASER and inspect the result.
+
+This is the smallest end-to-end use of the library: build a rotated surface
+code, pick a leakage-suppression policy, run a few hundred Monte-Carlo shots
+of a memory-Z experiment, and look at the logical error rate, the leakage
+population ratio, and how many LRCs the policy actually scheduled.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    LeakageModel,
+    MemoryExperiment,
+    NoiseParams,
+    RotatedSurfaceCode,
+    make_policy,
+)
+
+
+def main() -> None:
+    distance = 5
+    physical_error_rate = 1e-3
+    cycles = 10  # one QEC cycle = d syndrome-extraction rounds
+    shots = 200
+
+    code = RotatedSurfaceCode(distance)
+    print(f"Code: {code.describe()}")
+    print(f"Running {shots} shots of a {cycles}-cycle memory-Z experiment "
+          f"at p = {physical_error_rate:g} with ERASER...\n")
+
+    experiment = MemoryExperiment(
+        code=code,
+        policy=make_policy("eraser"),
+        noise=NoiseParams.standard(physical_error_rate),
+        leakage=LeakageModel.standard(physical_error_rate),
+        cycles=cycles,
+        seed=2023,
+    )
+    result = experiment.run(shots)
+
+    print(result.summary())
+    print()
+    low, high = result.logical_error_rate_interval
+    print(f"Logical error rate      : {result.logical_error_rate:.3e} "
+          f"(95% CI [{low:.3e}, {high:.3e}])")
+    print(f"Mean leakage population : {result.mean_lpr:.3e}")
+    print(f"Final leakage population: {result.final_lpr:.3e}")
+    print(f"LRCs scheduled per round: {result.lrcs_per_round:.2f} "
+          f"(Always-LRCs would use ~{distance * distance / 2:.0f})")
+    spec = result.speculation
+    print(f"Speculation accuracy    : {100 * spec.accuracy:.1f}%  "
+          f"(FPR {100 * spec.false_positive_rate:.1f}%, "
+          f"FNR {100 * spec.false_negative_rate:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

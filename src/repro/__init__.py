@@ -1,0 +1,62 @@
+"""Reproduction of "ERASER: Towards Adaptive Leakage Suppression for
+Fault-Tolerant Quantum Computing" (Vittal, Das, Qureshi — MICRO 2023).
+
+The public API re-exports the pieces most users need:
+
+* :class:`~repro.codes.RotatedSurfaceCode` — the surface code substrate,
+* :class:`~repro.noise.NoiseParams` / :class:`~repro.noise.LeakageModel` —
+  the circuit-level noise and leakage model,
+* the LRC scheduling policies (``make_policy``; No-LRC, Always-LRCs, Optimal,
+  ERASER, ERASER+M),
+* :class:`~repro.experiments.MemoryExperiment` — the memory-experiment
+  harness that produces logical error rates and leakage population ratios,
+* sweep helpers in :mod:`repro.experiments.sweep` that regenerate the paper's
+  figures and tables.
+"""
+
+from repro.codes import RotatedSurfaceCode
+from repro.core import (
+    AlwaysLrcPolicy,
+    EraserMPolicy,
+    EraserPolicy,
+    NoLrcPolicy,
+    OptimalLrcPolicy,
+    QecScheduleGenerator,
+    make_policy,
+)
+from repro.decoder import SurfaceCodeDecoder
+from repro.experiments import (
+    MemoryExperiment,
+    MemoryExperimentResult,
+    PolicySweepResult,
+    compare_policies,
+    ler_vs_distance,
+    lpr_time_series,
+)
+from repro.noise import LeakageModel, LeakageTransportModel, NoiseParams
+from repro.sim import LeakageFrameSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RotatedSurfaceCode",
+    "NoiseParams",
+    "LeakageModel",
+    "LeakageTransportModel",
+    "LeakageFrameSimulator",
+    "QecScheduleGenerator",
+    "NoLrcPolicy",
+    "AlwaysLrcPolicy",
+    "OptimalLrcPolicy",
+    "EraserPolicy",
+    "EraserMPolicy",
+    "make_policy",
+    "SurfaceCodeDecoder",
+    "MemoryExperiment",
+    "MemoryExperimentResult",
+    "PolicySweepResult",
+    "compare_policies",
+    "ler_vs_distance",
+    "lpr_time_series",
+    "__version__",
+]

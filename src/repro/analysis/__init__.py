@@ -1,0 +1,19 @@
+"""Analytic models and tabulation helpers."""
+
+from repro.analysis.analytic import (
+    expected_lrcs_per_round_always,
+    invisible_leakage_probability,
+    invisible_leakage_table,
+    leakage_onto_data_without_lrc,
+    leakage_onto_parity_with_lrc,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "leakage_onto_data_without_lrc",
+    "leakage_onto_parity_with_lrc",
+    "invisible_leakage_probability",
+    "invisible_leakage_table",
+    "expected_lrcs_per_round_always",
+    "format_table",
+]

@@ -1,0 +1,111 @@
+"""Closed-form models from Sections 3.1 and 4.1 of the paper.
+
+Three analytic results motivate the ERASER design:
+
+* Equation (1): the probability that a data qubit leaks during a round
+  *without* an LRC, given its parity qubit is already leaked (~10%).
+* Equation (2): the probability that a parity qubit leaks during a round
+  *with* an LRC, given the data qubit is already leaked (~34%).  The fact that
+  Equation (2) is roughly three times Equation (1) is the evidence that LRCs
+  facilitate leakage transport.
+* Equation (3) / Table 2: the probability that a leaked data qubit remains
+  *invisible* to syndrome extraction for ``r`` rounds; more than 99% of
+  leakage events become visible within two rounds, which justifies optimising
+  the Leakage Speculation Block for visible leakage only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Default CNOT leakage probability, 0.1 * p with p = 1e-3 (Table 1).
+DEFAULT_P_LEAK = 1e-4
+
+#: Default CNOT leakage transport probability (Table 1).
+DEFAULT_P_TRANSPORT = 0.1
+
+
+def leakage_onto_data_without_lrc(
+    p_leak: float = DEFAULT_P_LEAK,
+    p_transport: float = DEFAULT_P_TRANSPORT,
+    num_cnots: int = 4,
+) -> float:
+    """Equation (1): P(L_data | L_parity) for a round without an LRC.
+
+    The data qubit can leak either through operation-induced leakage in any of
+    its ``num_cnots`` CNOTs, or through a transport error in the single CNOT it
+    shares with the leaked parity qubit.
+    """
+    operation_term = sum(
+        (1.0 - p_leak) ** (k - 1) * p_leak for k in range(1, num_cnots + 1)
+    )
+    return p_transport + operation_term
+
+
+def leakage_onto_parity_with_lrc(
+    p_leak: float = DEFAULT_P_LEAK,
+    p_transport: float = DEFAULT_P_TRANSPORT,
+    num_cnots: int = 9,
+    num_transport_cnots: int = 4,
+) -> float:
+    """Equation (2): P(L_parity | L_data) for a round with a SWAP LRC.
+
+    The parity qubit participates in nine CNOTs during an LRC round and
+    interacts with the (leaked) data qubit four times before the data qubit is
+    reset, each interaction being a transport opportunity.
+    """
+    operation_term = sum(
+        (1.0 - p_leak) ** (k - 1) * p_leak for k in range(1, num_cnots + 1)
+    )
+    transport_term = sum(
+        (1.0 - p_transport) ** (k - 1) * p_transport
+        for k in range(1, num_transport_cnots + 1)
+    )
+    return operation_term + transport_term
+
+
+def transport_amplification_factor(
+    p_leak: float = DEFAULT_P_LEAK, p_transport: float = DEFAULT_P_TRANSPORT
+) -> float:
+    """Ratio Equation (2) / Equation (1); about 3x in the paper."""
+    return leakage_onto_parity_with_lrc(p_leak, p_transport) / leakage_onto_data_without_lrc(
+        p_leak, p_transport
+    )
+
+
+def invisible_leakage_probability(rounds_invisible: int, num_neighbors: int = 4) -> float:
+    """Equation (3): probability a leaked data qubit stays invisible ``r`` rounds.
+
+    A leaked data qubit affects each of its ``num_neighbors`` adjacent parity
+    checks with probability one half per round, so it escapes notice in one
+    round with probability ``(1/2) ** num_neighbors``.
+    """
+    if rounds_invisible < 0:
+        raise ValueError("rounds_invisible must be non-negative")
+    p_invisible_one_round = 0.5 ** num_neighbors
+    p_visible = 1.0 - p_invisible_one_round
+    return p_visible * p_invisible_one_round ** rounds_invisible
+
+
+def invisible_leakage_table(max_rounds: int = 3, num_neighbors: int = 4) -> List[Tuple[int, float]]:
+    """Table 2: (rounds spent invisible, probability in percent)."""
+    return [
+        (r, 100.0 * invisible_leakage_probability(r, num_neighbors))
+        for r in range(max_rounds + 1)
+    ]
+
+
+def expected_lrcs_per_round_always(distance: int) -> float:
+    """Average LRCs per round under Always-LRCs scheduling (Table 4 baseline).
+
+    ``d*d - 1`` data qubits are swapped every other round and the single
+    leftover data qubit is swapped in the intervening rounds.
+    """
+    if distance < 3 or distance % 2 == 0:
+        raise ValueError("distance must be an odd integer >= 3")
+    return (distance * distance) / 2.0
+
+
+def paper_table2() -> Dict[int, float]:
+    """The exact percentages printed in Table 2 of the paper."""
+    return {0: 93.8, 1: 5.90, 2: 0.36, 3: 0.02}

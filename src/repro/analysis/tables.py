@@ -1,0 +1,51 @@
+"""Plain-text tabulation helpers used by the benchmark harness and CLI.
+
+The offline environment has no plotting library, so every figure of the paper
+is regenerated as the table of numbers behind it (the series that would be
+plotted).  :func:`format_table` renders those series in aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows of mixed values as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_table(series: Mapping[str, Mapping[int, float]], x_label: str = "x") -> str:
+    """Render a ``{series -> {x -> y}}`` mapping as a wide table."""
+    xs = sorted({x for values in series.values() for x in values})
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name].get(x, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,239 @@
+"""Command-line front-end for the ERASER reproduction.
+
+Mirrors the workflow of the paper's artifact: one subcommand per experiment
+family, each printing the table of numbers behind the corresponding figure.
+
+Examples::
+
+    eraser-repro ler --distances 3 5 --shots 100
+    eraser-repro lpr --distance 5 --cycles 10 --shots 50
+    eraser-repro speculation --distance 5
+    eraser-repro table2
+    eraser-repro fpga
+    eraser-repro rtl --distance 5 --output eraser_d5.sv
+    eraser-repro dm-study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.analytic import (
+    invisible_leakage_table,
+    leakage_onto_data_without_lrc,
+    leakage_onto_parity_with_lrc,
+)
+from repro.analysis.tables import format_table, series_table
+from repro.densitymatrix.study import SingleStabilizerLeakageStudy
+from repro.dqlr.protocol import run_dqlr_comparison
+from repro.experiments.registry import format_experiment_index
+from repro.experiments.sweep import compare_policies, lpr_time_series
+from repro.hardware.cost_model import FpgaCostModel
+from repro.hardware.rtl_gen import generate_eraser_rtl
+from repro.noise.leakage import LeakageTransportModel
+
+
+def _add_common_sweep_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--distances", type=int, nargs="+", default=[3, 5])
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=["always-lrc", "eraser", "eraser+m", "optimal"],
+    )
+    parser.add_argument("--p", type=float, default=1e-3)
+    parser.add_argument("--cycles", type=int, default=10)
+    parser.add_argument("--shots", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--transport",
+        choices=["remain", "exchange"],
+        default="remain",
+        help="Leakage transport model (main text vs Appendix A.1).",
+    )
+
+
+def _transport(name: str) -> LeakageTransportModel:
+    return LeakageTransportModel(name)
+
+
+def _cmd_ler(args: argparse.Namespace) -> int:
+    sweep = compare_policies(
+        distances=args.distances,
+        policies=args.policies,
+        p=args.p,
+        cycles=args.cycles,
+        shots=args.shots,
+        transport_model=_transport(args.transport),
+        seed=args.seed,
+    )
+    print(sweep.format_table())
+    print()
+    print(series_table(sweep.ler_table(), x_label="distance"))
+    return 0
+
+
+def _cmd_lpr(args: argparse.Namespace) -> int:
+    series = lpr_time_series(
+        distance=args.distance,
+        policies=args.policies,
+        p=args.p,
+        cycles=args.cycles,
+        shots=args.shots,
+        transport_model=_transport(args.transport),
+        seed=args.seed,
+    )
+    headers = ["round"] + list(series.keys())
+    rows = []
+    num_rounds = len(next(iter(series.values())))
+    for r in range(num_rounds):
+        rows.append([r] + [float(series[name][r]) for name in series])
+    print(format_table(headers, rows, float_format="{:.5f}"))
+    return 0
+
+
+def _cmd_speculation(args: argparse.Namespace) -> int:
+    sweep = compare_policies(
+        distances=[args.distance],
+        policies=args.policies,
+        p=args.p,
+        cycles=args.cycles,
+        shots=args.shots,
+        decode=False,
+        seed=args.seed,
+    )
+    rows = []
+    for result in sweep:
+        rows.append(
+            [
+                result.policy,
+                100.0 * result.speculation.accuracy,
+                100.0 * result.speculation.false_positive_rate,
+                100.0 * result.speculation.false_negative_rate,
+                result.lrcs_per_round,
+            ]
+        )
+    print(format_table(["policy", "accuracy %", "FPR %", "FNR %", "LRCs/round"], rows))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    rows = [(r, p) for r, p in invisible_leakage_table(max_rounds=3)]
+    print(format_table(["rounds invisible", "probability %"], rows))
+    print()
+    print(f"Eq. (1)  P(L_data | L_parity) = {leakage_onto_data_without_lrc():.4f}")
+    print(f"Eq. (2)  P(L_parity | L_data) = {leakage_onto_parity_with_lrc():.4f}")
+    return 0
+
+
+def _cmd_fpga(args: argparse.Namespace) -> int:
+    model = FpgaCostModel()
+    rows = []
+    for resources in model.table(args.distances):
+        row = resources.to_row()
+        rows.append(
+            [
+                row["distance"],
+                row["luts"],
+                row["lut_percent"],
+                row["flip_flops"],
+                row["ff_percent"],
+                row["latency_ns"],
+            ]
+        )
+    print(format_table(["d", "LUTs", "LUT %", "FFs", "FF %", "latency ns"], rows))
+    return 0
+
+
+def _cmd_rtl(args: argparse.Namespace) -> int:
+    rtl = generate_eraser_rtl(args.distance, multilevel=args.multilevel)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rtl)
+        print(f"wrote {args.output} ({len(rtl.splitlines())} lines)")
+    else:
+        print(rtl)
+    return 0
+
+
+def _cmd_dm_study(args: argparse.Namespace) -> int:
+    study = SingleStabilizerLeakageStudy()
+    print(study.summary())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    print(format_experiment_index())
+    return 0
+
+
+def _cmd_dqlr(args: argparse.Namespace) -> int:
+    sweep = run_dqlr_comparison(
+        distances=args.distances,
+        p=args.p,
+        cycles=args.cycles,
+        shots=args.shots,
+        seed=args.seed,
+    )
+    print(sweep.format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eraser-repro",
+        description="Reproduce the experiments of the ERASER paper (MICRO 2023).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    ler = subparsers.add_parser("ler", help="LER vs distance (Figures 14/17)")
+    _add_common_sweep_args(ler)
+    ler.set_defaults(func=_cmd_ler)
+
+    lpr = subparsers.add_parser("lpr", help="LPR time series (Figures 5/15/18)")
+    _add_common_sweep_args(lpr)
+    lpr.add_argument("--distance", type=int, default=7)
+    lpr.set_defaults(func=_cmd_lpr)
+
+    spec = subparsers.add_parser("speculation", help="Speculation accuracy (Figure 16, Table 4)")
+    _add_common_sweep_args(spec)
+    spec.add_argument("--distance", type=int, default=5)
+    spec.set_defaults(func=_cmd_speculation)
+
+    table2 = subparsers.add_parser("table2", help="Analytic models (Table 2, Eqs. 1-2)")
+    table2.set_defaults(func=_cmd_table2)
+
+    fpga = subparsers.add_parser("fpga", help="FPGA cost model (Table 3)")
+    fpga.add_argument("--distances", type=int, nargs="+", default=[3, 5, 7, 9, 11])
+    fpga.set_defaults(func=_cmd_fpga)
+
+    rtl = subparsers.add_parser("rtl", help="Generate ERASER SystemVerilog")
+    rtl.add_argument("--distance", type=int, default=9)
+    rtl.add_argument("--multilevel", action="store_true")
+    rtl.add_argument("--output", type=str, default=None)
+    rtl.set_defaults(func=_cmd_rtl)
+
+    dm = subparsers.add_parser("dm-study", help="Density-matrix stabilizer study (Figure 8)")
+    dm.set_defaults(func=_cmd_dm_study)
+
+    dqlr = subparsers.add_parser("dqlr", help="DQLR comparison (Figures 20/21)")
+    _add_common_sweep_args(dqlr)
+    dqlr.set_defaults(func=_cmd_dqlr)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="List every paper table/figure and how to regenerate it"
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Quantum error correction code substrates.
+
+This subpackage provides the rotated surface code lattice used throughout the
+ERASER reproduction: qubit layout, stabilizer definitions, the four-layer
+CNOT schedule for syndrome extraction, and logical operator supports.
+"""
+
+from repro.codes.layout import DataQubit, ParityQubit, StabilizerType
+from repro.codes.rotated_surface import RotatedSurfaceCode, Stabilizer
+
+__all__ = [
+    "DataQubit",
+    "ParityQubit",
+    "StabilizerType",
+    "RotatedSurfaceCode",
+    "Stabilizer",
+]

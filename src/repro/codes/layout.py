@@ -1,0 +1,92 @@
+"""Basic layout primitives for surface code lattices.
+
+The rotated surface code is laid out on a two-dimensional grid.  Data qubits
+sit on integer coordinates ``(row, col)`` with ``0 <= row, col < d``.  Parity
+(ancilla) qubits sit on the plaquette grid ``(row, col)`` with
+``0 <= row, col <= d``; plaquette ``(r, c)`` covers the up-to-four data qubits
+``(r-1, c-1)``, ``(r-1, c)``, ``(r, c-1)`` and ``(r, c)`` that fall inside the
+data lattice.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+Coord = Tuple[int, int]
+
+
+class StabilizerType(enum.Enum):
+    """Type of a surface code stabilizer.
+
+    ``Z`` stabilizers measure products of Pauli-Z operators and detect X
+    errors; ``X`` stabilizers measure products of Pauli-X and detect Z errors.
+    """
+
+    X = "X"
+    Z = "Z"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class DataQubit:
+    """A data qubit of the surface code.
+
+    Attributes:
+        index: Global physical qubit index (data qubits occupy ``0 .. d*d-1``).
+        row: Row coordinate on the data lattice.
+        col: Column coordinate on the data lattice.
+    """
+
+    index: int
+    row: int
+    col: int
+
+    @property
+    def coord(self) -> Coord:
+        return (self.row, self.col)
+
+
+@dataclass(frozen=True)
+class ParityQubit:
+    """A parity (ancilla) qubit of the surface code.
+
+    Attributes:
+        index: Global physical qubit index (parity qubits occupy
+            ``d*d .. 2*d*d - 2``).
+        stabilizer_index: Index of the stabilizer this ancilla measures.
+        row: Row coordinate on the plaquette grid.
+        col: Column coordinate on the plaquette grid.
+    """
+
+    index: int
+    stabilizer_index: int
+    row: int
+    col: int
+
+    @property
+    def coord(self) -> Coord:
+        return (self.row, self.col)
+
+
+def plaquette_corners(row: int, col: int) -> Tuple[Coord, Coord, Coord, Coord]:
+    """Return the four data-lattice coordinates covered by plaquette (row, col).
+
+    The order is north-west, north-east, south-west, south-east.  Coordinates
+    outside the data lattice must be filtered by the caller.
+    """
+    return (
+        (row - 1, col - 1),
+        (row - 1, col),
+        (row, col - 1),
+        (row, col),
+    )
+
+
+def in_data_lattice(coord: Coord, distance: int) -> bool:
+    """Return True if ``coord`` is a valid data qubit coordinate."""
+    row, col = coord
+    return 0 <= row < distance and 0 <= col < distance

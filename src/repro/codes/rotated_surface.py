@@ -1,0 +1,275 @@
+"""Rotated surface code construction.
+
+The rotated surface code of odd distance ``d`` encodes one logical qubit in
+``d*d`` data qubits and ``d*d - 1`` parity qubits.  This module builds the
+full lattice: stabilizer supports, the conflict-free four-layer CNOT schedule
+used for syndrome extraction, adjacency maps between data and parity qubits,
+and the logical operator supports used by memory experiments.
+
+Conventions used throughout the reproduction:
+
+* Data qubits have global indices ``0 .. d*d - 1`` (row-major order).
+* Parity qubits have global indices ``d*d .. 2*d*d - 2`` in stabilizer order.
+* Plaquette ``(r, c)`` on the ancilla grid covers data qubits
+  ``(r-1, c-1), (r-1, c), (r, c-1), (r, c)``.
+* Bulk plaquettes alternate in a checkerboard; weight-two stabilizers on the
+  top/bottom boundaries are X type and those on the left/right boundaries are
+  Z type.
+* The logical Z operator is supported on the top row of data qubits and the
+  logical X operator on the left column.  Memory-Z experiments therefore fail
+  when an undetected X chain connects the top and bottom boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codes.layout import (
+    Coord,
+    DataQubit,
+    ParityQubit,
+    StabilizerType,
+    in_data_lattice,
+    plaquette_corners,
+)
+
+# CNOT orderings (indices into the NW, NE, SW, SE corner tuple).  Using a
+# "Z" pattern for X stabilizers and an "N" pattern for Z stabilizers yields a
+# conflict-free schedule in which every data qubit is touched at most once per
+# layer and hook errors do not reduce the effective code distance.
+_X_ORDER = (0, 1, 2, 3)  # NW, NE, SW, SE
+_Z_ORDER = (0, 2, 1, 3)  # NW, SW, NE, SE
+
+
+@dataclass
+class Stabilizer:
+    """A single surface code stabilizer (parity check).
+
+    Attributes:
+        index: Stabilizer index, ``0 .. d*d - 2``.
+        stype: Whether this is an X or Z stabilizer.
+        ancilla: Global physical index of the ancilla measuring this check.
+        plaquette: Coordinate of the plaquette on the ancilla grid.
+        data_qubits: Global indices of the data qubits in the support.
+        schedule: Length-4 tuple; entry ``k`` is the data qubit operated on in
+            CNOT layer ``k`` or ``None`` when the plaquette corner is outside
+            the lattice (weight-two boundary checks).
+    """
+
+    index: int
+    stype: StabilizerType
+    ancilla: int
+    plaquette: Coord
+    data_qubits: Tuple[int, ...]
+    schedule: Tuple[Optional[int], Optional[int], Optional[int], Optional[int]]
+
+    @property
+    def weight(self) -> int:
+        return len(self.data_qubits)
+
+
+@dataclass
+class RotatedSurfaceCode:
+    """A distance-``d`` rotated surface code.
+
+    The constructor performs the full lattice construction; all attributes are
+    plain Python containers so the object is cheap to share between the
+    simulator, the decoder, and the ERASER controller.
+    """
+
+    distance: int
+    data_qubits: List[DataQubit] = field(init=False)
+    parity_qubits: List[ParityQubit] = field(init=False)
+    stabilizers: List[Stabilizer] = field(init=False)
+
+    def __post_init__(self) -> None:
+        d = self.distance
+        if d < 3 or d % 2 == 0:
+            raise ValueError("distance must be an odd integer >= 3")
+        self._build_data_qubits()
+        self._build_stabilizers()
+        self._build_adjacency()
+        self._build_logicals()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_data_qubits(self) -> None:
+        d = self.distance
+        self.data_qubits = []
+        self._data_index: Dict[Coord, int] = {}
+        for row in range(d):
+            for col in range(d):
+                idx = row * d + col
+                self.data_qubits.append(DataQubit(index=idx, row=row, col=col))
+                self._data_index[(row, col)] = idx
+
+    def _plaquette_type(self, row: int, col: int) -> StabilizerType:
+        return StabilizerType.Z if (row + col) % 2 == 0 else StabilizerType.X
+
+    def _plaquette_exists(self, row: int, col: int) -> bool:
+        d = self.distance
+        corners = [c for c in plaquette_corners(row, col) if in_data_lattice(c, d)]
+        if len(corners) == 4:
+            return True
+        if len(corners) != 2:
+            return False
+        stype = self._plaquette_type(row, col)
+        on_top_or_bottom = row in (0, d)
+        on_left_or_right = col in (0, d)
+        if on_top_or_bottom and not on_left_or_right:
+            return stype is StabilizerType.X
+        if on_left_or_right and not on_top_or_bottom:
+            return stype is StabilizerType.Z
+        return False
+
+    def _build_stabilizers(self) -> None:
+        d = self.distance
+        self.stabilizers = []
+        self.parity_qubits = []
+        stab_index = 0
+        for row in range(d + 1):
+            for col in range(d + 1):
+                if not self._plaquette_exists(row, col):
+                    continue
+                stype = self._plaquette_type(row, col)
+                corners = plaquette_corners(row, col)
+                schedule_order = _X_ORDER if stype is StabilizerType.X else _Z_ORDER
+                schedule: List[Optional[int]] = []
+                support: List[int] = []
+                for k in schedule_order:
+                    coord = corners[k]
+                    if in_data_lattice(coord, d):
+                        qubit = self._data_index[coord]
+                        schedule.append(qubit)
+                        support.append(qubit)
+                    else:
+                        schedule.append(None)
+                ancilla = d * d + stab_index
+                stab = Stabilizer(
+                    index=stab_index,
+                    stype=stype,
+                    ancilla=ancilla,
+                    plaquette=(row, col),
+                    data_qubits=tuple(sorted(support)),
+                    schedule=tuple(schedule),
+                )
+                self.stabilizers.append(stab)
+                self.parity_qubits.append(
+                    ParityQubit(index=ancilla, stabilizer_index=stab_index, row=row, col=col)
+                )
+                stab_index += 1
+        if stab_index != d * d - 1:
+            raise RuntimeError(
+                f"constructed {stab_index} stabilizers, expected {d * d - 1}"
+            )
+
+    def _build_adjacency(self) -> None:
+        n_data = self.num_data_qubits
+        self._data_to_stabs: List[List[int]] = [[] for _ in range(n_data)]
+        self._data_to_z_stabs: List[List[int]] = [[] for _ in range(n_data)]
+        self._data_to_x_stabs: List[List[int]] = [[] for _ in range(n_data)]
+        for stab in self.stabilizers:
+            for q in stab.data_qubits:
+                self._data_to_stabs[q].append(stab.index)
+                if stab.stype is StabilizerType.Z:
+                    self._data_to_z_stabs[q].append(stab.index)
+                else:
+                    self._data_to_x_stabs[q].append(stab.index)
+
+    def _build_logicals(self) -> None:
+        d = self.distance
+        # Logical Z: Pauli-Z on the top row of data qubits (row 0).
+        self._logical_z_support = tuple(self._data_index[(0, col)] for col in range(d))
+        # Logical X: Pauli-X on the left column of data qubits (col 0).
+        self._logical_x_support = tuple(self._data_index[(row, 0)] for row in range(d))
+
+    # ------------------------------------------------------------------
+    # Public accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_data_qubits(self) -> int:
+        return self.distance * self.distance
+
+    @property
+    def num_parity_qubits(self) -> int:
+        return self.distance * self.distance - 1
+
+    @property
+    def num_qubits(self) -> int:
+        return self.num_data_qubits + self.num_parity_qubits
+
+    @property
+    def num_stabilizers(self) -> int:
+        return len(self.stabilizers)
+
+    @property
+    def data_indices(self) -> Tuple[int, ...]:
+        return tuple(range(self.num_data_qubits))
+
+    @property
+    def parity_indices(self) -> Tuple[int, ...]:
+        return tuple(q.index for q in self.parity_qubits)
+
+    @property
+    def z_stabilizers(self) -> List[Stabilizer]:
+        return [s for s in self.stabilizers if s.stype is StabilizerType.Z]
+
+    @property
+    def x_stabilizers(self) -> List[Stabilizer]:
+        return [s for s in self.stabilizers if s.stype is StabilizerType.X]
+
+    @property
+    def logical_z_support(self) -> Tuple[int, ...]:
+        """Data qubits supporting the logical Z operator (top row)."""
+        return self._logical_z_support
+
+    @property
+    def logical_x_support(self) -> Tuple[int, ...]:
+        """Data qubits supporting the logical X operator (left column)."""
+        return self._logical_x_support
+
+    def data_qubit_index(self, row: int, col: int) -> int:
+        """Return the global index of the data qubit at ``(row, col)``."""
+        return self._data_index[(row, col)]
+
+    def data_coord(self, index: int) -> Coord:
+        """Return the ``(row, col)`` coordinate of a data qubit index."""
+        q = self.data_qubits[index]
+        return (q.row, q.col)
+
+    def stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
+        """All stabilizer indices whose support contains ``data_qubit``."""
+        return tuple(self._data_to_stabs[data_qubit])
+
+    def z_stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
+        """Z-type stabilizer indices adjacent to ``data_qubit``."""
+        return tuple(self._data_to_z_stabs[data_qubit])
+
+    def x_stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
+        """X-type stabilizer indices adjacent to ``data_qubit``."""
+        return tuple(self._data_to_x_stabs[data_qubit])
+
+    def parity_neighbors(self, data_qubit: int) -> Sequence[int]:
+        """Global indices of parity qubits adjacent to ``data_qubit``."""
+        return tuple(self.stabilizers[s].ancilla for s in self._data_to_stabs[data_qubit])
+
+    def ancilla_of(self, stabilizer_index: int) -> int:
+        """Return the global physical index of a stabilizer's ancilla."""
+        return self.stabilizers[stabilizer_index].ancilla
+
+    def stabilizer_of_ancilla(self, ancilla_index: int) -> int:
+        """Return the stabilizer index measured by a given ancilla qubit."""
+        offset = ancilla_index - self.num_data_qubits
+        if not 0 <= offset < self.num_parity_qubits:
+            raise ValueError(f"{ancilla_index} is not a parity qubit index")
+        return offset
+
+    def describe(self) -> str:
+        """Return a short human-readable summary of the code."""
+        return (
+            f"RotatedSurfaceCode(d={self.distance}, data={self.num_data_qubits}, "
+            f"parity={self.num_parity_qubits}, "
+            f"Z-checks={len(self.z_stabilizers)}, X-checks={len(self.x_stabilizers)})"
+        )

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: adaptive LRC scheduling (ERASER).
+
+This subpackage implements the ERASER microarchitecture described in
+Section 4 of the paper:
+
+* :mod:`repro.core.lsb` — the Leakage Speculation Block with its Leakage
+  Tracking Table (LTT) and Parity-qubit Usage Tracking Table (PUTT),
+* :mod:`repro.core.dli` — Dynamic LRC Insertion with the SWAP Lookup Table,
+* :mod:`repro.core.qsg` — the QEC Schedule Generator that turns LRC
+  assignments into concrete syndrome-extraction rounds,
+* :mod:`repro.core.policies` — the five LRC scheduling policies evaluated in
+  the paper (No-LRC, Always-LRCs, Optimal, ERASER, ERASER+M).
+"""
+
+from repro.core.dli import DynamicLrcInsertion, SwapLookupTable
+from repro.core.lsb import (
+    LeakageSpeculationBlock,
+    LeakageTrackingTable,
+    ParityUsageTrackingTable,
+)
+from repro.core.qsg import QecScheduleGenerator, RoundLayout
+from repro.core.policies import (
+    AlwaysLrcPolicy,
+    EraserMPolicy,
+    EraserPolicy,
+    LrcPolicy,
+    NoLrcPolicy,
+    OptimalLrcPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "SwapLookupTable",
+    "DynamicLrcInsertion",
+    "LeakageTrackingTable",
+    "ParityUsageTrackingTable",
+    "LeakageSpeculationBlock",
+    "QecScheduleGenerator",
+    "RoundLayout",
+    "LrcPolicy",
+    "NoLrcPolicy",
+    "AlwaysLrcPolicy",
+    "OptimalLrcPolicy",
+    "EraserPolicy",
+    "EraserMPolicy",
+    "make_policy",
+]

@@ -1,0 +1,191 @@
+"""Leakage Speculation Block (LSB).
+
+Section 4.2 of the paper: the LSB consumes the current syndrome (one bit per
+parity check, already differenced against the previous round so that a set bit
+means "this check flipped") and speculates which data qubits may have leaked.
+
+The speculation rule is deliberately simple so that it fits on an FPGA with a
+few-nanosecond latency:
+
+* a data qubit is marked as leaked in the Leakage Tracking Table (LTT) when at
+  least half of its neighbouring parity checks flipped in the current round,
+  unless an LRC was already applied to it in the previous round (in which case
+  any leakage would have just been removed);
+* ERASER+M additionally marks every data qubit adjacent to a parity qubit
+  whose multi-level readout reported |L>.
+
+The Parity-qubit Usage Tracking Table (PUTT) remembers which parity qubits
+participated in LRC SWAPs last round; those qubits have not been reset and may
+have accumulated leakage, so they are not eligible to serve another LRC until
+they have gone through a normal measure-and-reset round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+
+
+class LeakageTrackingTable:
+    """One speculative "leaked" bit per data qubit (the LTT)."""
+
+    def __init__(self, num_data_qubits: int):
+        self._flags = np.zeros(num_data_qubits, dtype=bool)
+
+    def mark(self, data_qubit: int) -> None:
+        self._flags[data_qubit] = True
+
+    def clear(self, data_qubit: int) -> None:
+        self._flags[data_qubit] = False
+
+    def clear_all(self) -> None:
+        self._flags[:] = False
+
+    def is_marked(self, data_qubit: int) -> bool:
+        return bool(self._flags[data_qubit])
+
+    def marked_qubits(self) -> List[int]:
+        return [int(q) for q in np.flatnonzero(self._flags)]
+
+    def __len__(self) -> int:
+        return int(self._flags.sum())
+
+
+class ParityUsageTrackingTable:
+    """One "used for an LRC last round" bit per parity qubit (the PUTT)."""
+
+    def __init__(self, num_stabilizers: int):
+        self._used = np.zeros(num_stabilizers, dtype=bool)
+
+    def record_round(self, stabilizers_used: Iterable[int]) -> None:
+        """Replace the table contents with the stabilizers used this round."""
+        self._used[:] = False
+        for stab in stabilizers_used:
+            self._used[stab] = True
+
+    def is_used(self, stabilizer: int) -> bool:
+        return bool(self._used[stabilizer])
+
+    def used_stabilizers(self) -> List[int]:
+        return [int(s) for s in np.flatnonzero(self._used)]
+
+    def clear(self) -> None:
+        self._used[:] = False
+
+
+def speculation_threshold(num_neighbors: int) -> int:
+    """Minimum number of flipped neighbouring checks that triggers speculation.
+
+    The paper uses "at least half of the neighbouring parity qubits"; data
+    qubits on the rotated surface code have two, three, or four neighbours, so
+    the thresholds are 1, 2, and 2 respectively.
+    """
+    if num_neighbors <= 0:
+        raise ValueError("a data qubit must have at least one neighbour")
+    return math.ceil(num_neighbors / 2)
+
+
+@dataclass
+class LeakageSpeculationBlock:
+    """The LSB: syndrome-pattern based leakage speculation.
+
+    Args:
+        code: The surface code being protected.
+        use_multilevel_readout: Enable the ERASER+M enhancement that marks
+            data qubits adjacent to parity qubits measured in |L>.
+        leaked_label: Discriminator label that denotes |L>.
+        threshold_override: Use a fixed flip-count trigger instead of the
+            paper's "at least half of the neighbours" rule (clamped to each
+            qubit's neighbour count).  Used by the speculation-aggressiveness
+            ablation; ``None`` keeps the paper's rule.
+    """
+
+    code: RotatedSurfaceCode
+    use_multilevel_readout: bool = False
+    leaked_label: int = 2
+    threshold_override: int = None
+    ltt: LeakageTrackingTable = field(init=False)
+    putt: ParityUsageTrackingTable = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.ltt = LeakageTrackingTable(self.code.num_data_qubits)
+        self.putt = ParityUsageTrackingTable(self.code.num_stabilizers)
+        self._neighbors = [
+            np.asarray(self.code.stabilizer_neighbors(q), dtype=np.int64)
+            for q in self.code.data_indices
+        ]
+        if self.threshold_override is None:
+            thresholds = [speculation_threshold(len(n)) for n in self._neighbors]
+        else:
+            if self.threshold_override < 1:
+                raise ValueError("threshold_override must be at least 1")
+            thresholds = [
+                min(self.threshold_override, len(n)) for n in self._neighbors
+            ]
+        self._thresholds = np.array(thresholds, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Clear all speculative state (start of a new experiment)."""
+        self.ltt.clear_all()
+        self.putt.clear()
+
+    def observe_round(
+        self,
+        detection_events: np.ndarray,
+        previous_lrc_data_qubits: Iterable[int],
+        readout_labels: np.ndarray = None,
+    ) -> List[int]:
+        """Update the LTT from the current syndrome and return LRC candidates.
+
+        Args:
+            detection_events: Boolean array over stabilizer indices; True means
+                the parity check flipped relative to the previous round.
+            previous_lrc_data_qubits: Data qubits whose LRC executed in the
+                round that produced this syndrome (their leakage was just
+                removed, so they are not speculated on and their LTT entry is
+                cleared).
+            readout_labels: Multi-level discriminator labels per stabilizer
+                measurement; only consulted when ``use_multilevel_readout`` is
+                enabled.
+
+        Returns:
+            Sorted list of data qubits currently marked as leaked in the LTT.
+        """
+        events = np.asarray(detection_events, dtype=bool)
+        had_lrc = set(previous_lrc_data_qubits)
+        for data_qubit in had_lrc:
+            self.ltt.clear(data_qubit)
+        for data_qubit in self.code.data_indices:
+            if data_qubit in had_lrc:
+                continue
+            neighbors = self._neighbors[data_qubit]
+            flips = int(events[neighbors].sum())
+            if flips >= self._thresholds[data_qubit]:
+                self.ltt.mark(data_qubit)
+        if self.use_multilevel_readout and readout_labels is not None:
+            labels = np.asarray(readout_labels)
+            for stab_index in np.flatnonzero(labels == self.leaked_label):
+                for data_qubit in self.code.stabilizers[int(stab_index)].data_qubits:
+                    if data_qubit not in had_lrc:
+                        self.ltt.mark(data_qubit)
+        return sorted(self.ltt.marked_qubits())
+
+    def commit_assignment(self, assignment: Dict[int, int]) -> None:
+        """Record a finalized LRC assignment for the next round.
+
+        Assigned data qubits are removed from the LTT (their leakage is about
+        to be cleaned); the parity qubits they borrow are marked as used in the
+        PUTT so they are not reused before being reset.
+        """
+        for data_qubit in assignment:
+            self.ltt.clear(data_qubit)
+        self.putt.record_round(assignment.values())
+
+    def blocked_stabilizers(self) -> List[int]:
+        """Stabilizers whose parity qubits are unavailable for the next round."""
+        return self.putt.used_stabilizers()

@@ -1,0 +1,81 @@
+"""Abstract interface shared by all LRC scheduling policies."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.sim.rng import RngLike, make_rng
+
+
+class LrcPolicy(abc.ABC):
+    """Decides which data qubits receive leakage-removal operations each round.
+
+    The experiment runner drives a policy through the following protocol:
+
+    1. :meth:`bind` is called once per Monte-Carlo shot with the code instance.
+    2. :meth:`initial_assignment` provides the LRC assignment for round 0.
+    3. After every syndrome-extraction round, :meth:`decide` is called with the
+       round's detection events (parity-check flips), the raw syndrome bits,
+       the multi-level readout labels, and — for the oracle policy only — the
+       ground-truth data-qubit leakage.  It returns the assignment for the
+       *next* round as a mapping from data qubit to stabilizer index.
+    """
+
+    #: Human-readable policy name used in result tables.
+    name: str = "abstract"
+
+    #: Whether this policy consumes ground-truth leakage (oracle policies).
+    uses_ground_truth: bool = False
+
+    #: Whether this policy consumes multi-level readout labels.
+    uses_multilevel_readout: bool = False
+
+    def __init__(self) -> None:
+        self.code: Optional[RotatedSurfaceCode] = None
+        self.rng = make_rng(None)
+
+    def bind(self, code: RotatedSurfaceCode, rng: RngLike = None) -> None:
+        """Attach the policy to a code instance (called once per experiment)."""
+        self.code = code
+        self.rng = make_rng(rng)
+        self._on_bind()
+        self.start_shot()
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses to build per-code state."""
+
+    def start_shot(self) -> None:
+        """Reset per-shot state (called before every Monte-Carlo shot)."""
+
+    def initial_assignment(self) -> Dict[int, int]:
+        """LRC assignment for the very first round (default: none)."""
+        return {}
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: np.ndarray,
+    ) -> Dict[int, int]:
+        """Return the LRC assignment for the next round.
+
+        Args:
+            round_index: Index of the round that just completed (0-based).
+            detection_events: Boolean array over stabilizers; True where the
+                parity check flipped relative to the previous round.
+            syndrome: Raw measured parity-check bits for this round.
+            readout_labels: Multi-level discriminator labels per stabilizer
+                measurement (0, 1, or 2 = |L>).
+            true_leaked_data: Ground-truth leakage flags over data qubits; only
+                oracle policies may consult this.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,25 @@
+"""Baseline policy that never schedules leakage removal."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.policies.base import LrcPolicy
+
+
+class NoLrcPolicy(LrcPolicy):
+    """Never insert LRCs; parity qubits are still reset by normal readout."""
+
+    name = "no-lrc"
+
+    def decide(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: np.ndarray,
+    ) -> Dict[int, int]:
+        return {}

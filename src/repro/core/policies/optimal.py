@@ -1,0 +1,55 @@
+"""Idealized (oracle) LRC scheduling.
+
+The "Optimal" policy of the paper schedules an LRC for a data qubit as soon as
+that qubit is actually leaked.  It is physically unrealisable — leakage cannot
+be observed directly — but bounds how much of the Always-LRCs gap an adaptive
+policy could ever close (Section 3.2 and Figures 6, 14–16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.dli import DynamicLrcInsertion, SwapLookupTable
+from repro.core.lsb import ParityUsageTrackingTable
+from repro.core.policies.base import LrcPolicy
+
+
+class OptimalLrcPolicy(LrcPolicy):
+    """Schedule an LRC for every data qubit that is currently leaked (oracle)."""
+
+    name = "optimal"
+    uses_ground_truth = True
+
+    def __init__(self, num_backups: int = None):
+        super().__init__()
+        self._num_backups = num_backups
+        self._dli: DynamicLrcInsertion = None
+        self._putt: ParityUsageTrackingTable = None
+
+    def _on_bind(self) -> None:
+        table = SwapLookupTable(self.code, num_backups=self._num_backups)
+        self._dli = DynamicLrcInsertion(table)
+        self._putt = ParityUsageTrackingTable(self.code.num_stabilizers)
+
+    def start_shot(self) -> None:
+        if self._putt is not None:
+            self._putt.clear()
+
+    def decide(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: np.ndarray,
+    ) -> Dict[int, int]:
+        leaked = np.flatnonzero(np.asarray(true_leaked_data, dtype=bool))
+        assignment = self._dli.assign(
+            (int(q) for q in leaked),
+            blocked_stabilizers=self._putt.used_stabilizers(),
+        )
+        self._putt.record_round(assignment.values())
+        return assignment

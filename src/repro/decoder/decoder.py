@@ -1,0 +1,114 @@
+"""High-level decoder facade used by the memory-experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.codes.layout import StabilizerType
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.decoder.graph import DecodingGraph
+from repro.decoder.matching import build_matcher
+
+
+@dataclass
+class SurfaceCodeDecoder:
+    """MWPM decoder for memory experiments on the rotated surface code.
+
+    Args:
+        code: The code being decoded.
+        num_rounds: Number of syndrome-extraction rounds per experiment.
+        stabilizer_type: Detector family to match; ``Z`` (default) decodes the
+            X errors that corrupt a memory-Z experiment.
+        method: Matching engine — ``"mwpm"``, ``"greedy"`` or ``"auto"``.
+        space_weight / time_weight / diagonal_weight: Decoding-graph edge
+            weights (see :class:`~repro.decoder.graph.DecodingGraph`).
+    """
+
+    code: RotatedSurfaceCode
+    num_rounds: int
+    stabilizer_type: StabilizerType = StabilizerType.Z
+    method: str = "auto"
+    space_weight: float = 1.0
+    time_weight: float = 1.0
+    diagonal_weight: Optional[float] = None
+    exact_threshold: int = 40
+
+    def __post_init__(self) -> None:
+        self.graph = DecodingGraph(
+            code=self.code,
+            num_rounds=self.num_rounds,
+            stabilizer_type=self.stabilizer_type,
+            space_weight=self.space_weight,
+            time_weight=self.time_weight,
+            diagonal_weight=self.diagonal_weight,
+        )
+        self._matcher = build_matcher(
+            self.graph, method=self.method, exact_threshold=self.exact_threshold
+        )
+
+    # ------------------------------------------------------------------
+    # Detector construction
+    # ------------------------------------------------------------------
+    def build_detectors(
+        self,
+        syndrome_history: np.ndarray,
+        final_data_bits: np.ndarray,
+    ) -> np.ndarray:
+        """Convert raw measurements into the (layers, checks) detector matrix.
+
+        Args:
+            syndrome_history: ``(num_rounds, num_stabilizers)`` array of raw
+                parity-check bits (flips relative to the noiseless reference).
+            final_data_bits: Length ``d*d`` array of final transversal data
+                measurements.
+
+        Returns:
+            Boolean matrix of shape ``(num_rounds + 1, num_checks)``.
+        """
+        history = np.asarray(syndrome_history, dtype=np.uint8)
+        if history.shape != (self.num_rounds, self.code.num_stabilizers):
+            raise ValueError(
+                "syndrome_history must have shape "
+                f"({self.num_rounds}, {self.code.num_stabilizers})"
+            )
+        data_bits = np.asarray(final_data_bits, dtype=np.uint8)
+        checks = list(self.graph.checks)
+        local = history[:, checks]
+        detectors = np.zeros((self.num_rounds + 1, len(checks)), dtype=bool)
+        detectors[0] = local[0].astype(bool)
+        detectors[1 : self.num_rounds] = (local[1:] ^ local[:-1]).astype(bool)
+        # Final layer: compare each check value recomputed from the data
+        # measurement with the last round's measured check.
+        for pos, stab_index in enumerate(checks):
+            stab = self.code.stabilizers[stab_index]
+            recomputed = int(data_bits[list(stab.data_qubits)].sum() % 2)
+            detectors[self.num_rounds, pos] = bool(recomputed ^ int(local[-1, pos]))
+        return detectors
+
+    def observed_logical_flip(self, final_data_bits: np.ndarray) -> int:
+        """Raw logical-observable flip implied by the final data measurement."""
+        data_bits = np.asarray(final_data_bits, dtype=np.uint8)
+        if self.stabilizer_type is StabilizerType.Z:
+            support = self.code.logical_z_support
+        else:
+            support = self.code.logical_x_support
+        return int(data_bits[list(support)].sum() % 2)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def predict_correction(self, detectors: np.ndarray) -> int:
+        """Predicted logical-observable correction for a detector matrix."""
+        return self._matcher.decode(detectors)
+
+    def decode_shot(
+        self, syndrome_history: np.ndarray, final_data_bits: np.ndarray
+    ) -> bool:
+        """Return True when the shot suffered a logical error after correction."""
+        detectors = self.build_detectors(syndrome_history, final_data_bits)
+        correction = self.predict_correction(detectors)
+        observed = self.observed_logical_flip(final_data_bits)
+        return bool(observed ^ correction)

@@ -1,0 +1,207 @@
+"""Space-time decoding graph for memory experiments.
+
+For a memory-Z experiment the decoder matches flipped Z-type detectors.  The
+graph has one node per (Z stabilizer, round) pair — including a final layer of
+detectors obtained from the transversal data-qubit measurement — plus a single
+virtual boundary node.  Edges model the dominant error mechanisms:
+
+* *space edges* between the one or two Z checks adjacent to each data qubit
+  (data-qubit Pauli errors), annotated with whether that data qubit lies on
+  the logical observable's support,
+* *time edges* between consecutive rounds of the same check (measurement
+  errors), and
+* optional *diagonal edges* between adjacent checks in consecutive rounds
+  (hook errors from mid-round CNOT faults).
+
+The decoder is deliberately leakage-unaware, exactly as in the paper: leakage
+shows up to the decoder only through the random Pauli/measurement errors it
+induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.codes.layout import StabilizerType
+from repro.codes.rotated_surface import RotatedSurfaceCode
+
+
+@dataclass
+class DecodingGraph:
+    """Matching graph over space-time detector nodes.
+
+    Args:
+        code: The rotated surface code being decoded.
+        num_rounds: Number of syndrome-extraction rounds.  The graph contains
+            ``num_rounds + 1`` detector layers; the final layer comes from the
+            transversal data measurement.
+        stabilizer_type: Which detector family to decode (Z detects X errors).
+        space_weight: Edge weight for data-qubit errors.
+        time_weight: Edge weight for measurement errors.
+        diagonal_weight: Edge weight for hook-like space-time errors; ``None``
+            disables diagonal edges.
+    """
+
+    code: RotatedSurfaceCode
+    num_rounds: int
+    stabilizer_type: StabilizerType = StabilizerType.Z
+    space_weight: float = 1.0
+    time_weight: float = 1.0
+    diagonal_weight: float = None
+
+    def __post_init__(self) -> None:
+        if self.num_rounds < 1:
+            raise ValueError("num_rounds must be >= 1")
+        self._stabs = [
+            s for s in self.code.stabilizers if s.stype is self.stabilizer_type
+        ]
+        self._stab_to_local = {s.index: i for i, s in enumerate(self._stabs)}
+        self._num_checks = len(self._stabs)
+        self._num_layers = self.num_rounds + 1
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Identifiers
+    # ------------------------------------------------------------------
+    @property
+    def num_checks(self) -> int:
+        """Number of parity checks of the decoded type per round."""
+        return self._num_checks
+
+    @property
+    def num_layers(self) -> int:
+        """Number of detector layers (rounds plus the final data-measurement layer)."""
+        return self._num_layers
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of detector nodes (excluding the boundary node)."""
+        return self._num_checks * self._num_layers
+
+    @property
+    def boundary_node(self) -> int:
+        """Index of the virtual boundary node."""
+        return self.num_nodes
+
+    @property
+    def checks(self) -> Tuple[int, ...]:
+        """Stabilizer indices of the decoded type, in local order."""
+        return tuple(s.index for s in self._stabs)
+
+    def node_id(self, stabilizer_index: int, layer: int) -> int:
+        """Node id of a (stabilizer, layer) detector."""
+        if not 0 <= layer < self._num_layers:
+            raise ValueError(f"layer {layer} out of range")
+        return layer * self._num_checks + self._stab_to_local[stabilizer_index]
+
+    def local_index(self, stabilizer_index: int) -> int:
+        """Position of a stabilizer within the per-layer detector ordering."""
+        return self._stab_to_local[stabilizer_index]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _neighbors_of_data_qubit(self, data_qubit: int) -> Sequence[int]:
+        if self.stabilizer_type is StabilizerType.Z:
+            return self.code.z_stabilizer_neighbors(data_qubit)
+        return self.code.x_stabilizer_neighbors(data_qubit)
+
+    def _observable_support(self) -> Tuple[int, ...]:
+        if self.stabilizer_type is StabilizerType.Z:
+            return self.code.logical_z_support
+        return self.code.logical_x_support
+
+    def _build(self) -> None:
+        support = set(self._observable_support())
+        rows: List[int] = []
+        cols: List[int] = []
+        weights: List[float] = []
+        self._edge_frames: Dict[Tuple[int, int], bool] = {}
+
+        def add_edge(u: int, v: int, weight: float, frame: bool) -> None:
+            key = (u, v) if u < v else (v, u)
+            existing = self._edge_frames.get(key)
+            if existing is not None:
+                # Keep the first (equal-weight) edge; frames agree by
+                # construction on the rotated surface code.
+                return
+            self._edge_frames[key] = frame
+            rows.extend([u, v])
+            cols.extend([v, u])
+            weights.extend([weight, weight])
+
+        boundary = self.boundary_node
+        # Space edges in every layer (data errors / final measurement errors).
+        space_pairs: List[Tuple[int, int, bool]] = []
+        space_boundary: List[Tuple[int, bool]] = []
+        for data_qubit in self.code.data_indices:
+            neighbors = list(self._neighbors_of_data_qubit(data_qubit))
+            frame = data_qubit in support
+            if len(neighbors) == 2:
+                space_pairs.append((neighbors[0], neighbors[1], frame))
+            elif len(neighbors) == 1:
+                space_boundary.append((neighbors[0], frame))
+        for layer in range(self._num_layers):
+            for s1, s2, frame in space_pairs:
+                add_edge(self.node_id(s1, layer), self.node_id(s2, layer), self.space_weight, frame)
+            for s1, frame in space_boundary:
+                add_edge(self.node_id(s1, layer), boundary, self.space_weight, frame)
+        # Time edges between consecutive layers of the same check.
+        for layer in range(self._num_layers - 1):
+            for stab in self._stabs:
+                add_edge(
+                    self.node_id(stab.index, layer),
+                    self.node_id(stab.index, layer + 1),
+                    self.time_weight,
+                    False,
+                )
+        # Optional diagonal (hook) edges.
+        if self.diagonal_weight is not None:
+            for layer in range(self._num_layers - 1):
+                for s1, s2, frame in space_pairs:
+                    add_edge(
+                        self.node_id(s1, layer),
+                        self.node_id(s2, layer + 1),
+                        self.diagonal_weight,
+                        frame,
+                    )
+                    add_edge(
+                        self.node_id(s2, layer),
+                        self.node_id(s1, layer + 1),
+                        self.diagonal_weight,
+                        frame,
+                    )
+
+        size = self.num_nodes + 1
+        self.adjacency = sp.csr_matrix(
+            (weights, (rows, cols)), shape=(size, size), dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def edge_frame(self, u: int, v: int) -> bool:
+        """Whether the edge (u, v) crosses the logical observable support."""
+        key = (u, v) if u < v else (v, u)
+        return self._edge_frames[key]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_frames
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_frames)
+
+    def detector_nodes(self, detector_matrix: np.ndarray) -> np.ndarray:
+        """Convert a (layers, checks) boolean detector matrix into node ids."""
+        matrix = np.asarray(detector_matrix, dtype=bool)
+        expected = (self._num_layers, self._num_checks)
+        if matrix.shape != expected:
+            raise ValueError(f"detector matrix must have shape {expected}, got {matrix.shape}")
+        layers, locals_ = np.nonzero(matrix)
+        return layers * self._num_checks + locals_

@@ -1,0 +1,206 @@
+"""Matching engines used by the MWPM decoder.
+
+Two matchers are provided:
+
+* :class:`MwpmMatcher` — exact minimum-weight perfect matching via the blossom
+  algorithm (networkx), the gold standard used in the paper.
+* :class:`GreedyMatcher` — a fast approximate matcher that repeatedly pairs
+  the closest remaining detectors (or sends a detector to the boundary).
+
+Both operate on the same distance/path infrastructure: scipy's Dijkstra over
+the sparse decoding graph, with path reconstruction used to accumulate the
+logical-observable frame along every matched path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.sparse.csgraph import dijkstra
+
+from repro.decoder.graph import DecodingGraph
+
+
+@dataclass
+class _ShortestPaths:
+    """Dijkstra output from every flipped detector to every graph node."""
+
+    sources: np.ndarray
+    distances: np.ndarray
+    predecessors: np.ndarray
+
+    def distance(self, source_pos: int, target_node: int) -> float:
+        return float(self.distances[source_pos, target_node])
+
+    def path_frame(self, graph: DecodingGraph, source_pos: int, target_node: int) -> bool:
+        """XOR of edge frames along the shortest path source -> target."""
+        frame = False
+        node = target_node
+        preds = self.predecessors[source_pos]
+        source = int(self.sources[source_pos])
+        while node != source:
+            prev = int(preds[node])
+            if prev < 0:
+                raise ValueError("target node is unreachable from source")
+            frame ^= graph.edge_frame(prev, node)
+            node = prev
+        return frame
+
+
+def _shortest_paths(graph: DecodingGraph, nodes: np.ndarray) -> _ShortestPaths:
+    distances, predecessors = dijkstra(
+        graph.adjacency,
+        directed=False,
+        indices=nodes,
+        return_predecessors=True,
+    )
+    if nodes.size == 1:
+        distances = np.atleast_2d(distances)
+        predecessors = np.atleast_2d(predecessors)
+    return _ShortestPaths(sources=nodes, distances=distances, predecessors=predecessors)
+
+
+class _BaseMatcher:
+    """Shared decode logic: compute paths, delegate pairing, accumulate frames."""
+
+    def __init__(self, graph: DecodingGraph):
+        self.graph = graph
+
+    def decode(self, detector_matrix: np.ndarray) -> int:
+        """Return the predicted logical-observable correction (0 or 1)."""
+        nodes = self.graph.detector_nodes(detector_matrix)
+        return self.decode_nodes(nodes)
+
+    def decode_nodes(self, nodes: np.ndarray) -> int:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return 0
+        paths = _shortest_paths(self.graph, nodes)
+        pairs, to_boundary = self._match(paths)
+        correction = False
+        for i, j in pairs:
+            correction ^= paths.path_frame(self.graph, i, int(nodes[j]))
+        boundary = self.graph.boundary_node
+        for i in to_boundary:
+            correction ^= paths.path_frame(self.graph, i, boundary)
+        return int(correction)
+
+    def _match(
+        self, paths: _ShortestPaths
+    ) -> Tuple[List[Tuple[int, int]], List[int]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class MwpmMatcher(_BaseMatcher):
+    """Exact minimum-weight perfect matching (blossom algorithm)."""
+
+    def _match(self, paths: _ShortestPaths) -> Tuple[List[Tuple[int, int]], List[int]]:
+        nodes = paths.sources
+        k = nodes.size
+        boundary = self.graph.boundary_node
+        graph = nx.Graph()
+        for i in range(k):
+            graph.add_node(("d", i))
+            graph.add_node(("b", i))
+        for i in range(k):
+            for j in range(i + 1, k):
+                weight = paths.distance(i, int(nodes[j]))
+                if np.isfinite(weight):
+                    graph.add_edge(("d", i), ("d", j), weight=weight)
+            boundary_weight = paths.distance(i, boundary)
+            graph.add_edge(("d", i), ("b", i), weight=boundary_weight)
+            for j in range(i + 1, k):
+                graph.add_edge(("b", i), ("b", j), weight=0.0)
+        matching = nx.min_weight_matching(graph)
+        pairs: List[Tuple[int, int]] = []
+        to_boundary: List[int] = []
+        for u, v in matching:
+            if u[0] == "d" and v[0] == "d":
+                pairs.append((u[1], v[1]))
+            elif u[0] == "d" and v[0] == "b":
+                to_boundary.append(u[1])
+            elif v[0] == "d" and u[0] == "b":
+                to_boundary.append(v[1])
+        return pairs, to_boundary
+
+
+class GreedyMatcher(_BaseMatcher):
+    """Greedy nearest-pair matching (fast, approximate)."""
+
+    def _match(self, paths: _ShortestPaths) -> Tuple[List[Tuple[int, int]], List[int]]:
+        nodes = paths.sources
+        k = nodes.size
+        boundary = self.graph.boundary_node
+        options: List[Tuple[float, int, int]] = []
+        for i in range(k):
+            options.append((paths.distance(i, boundary), i, -1))
+            for j in range(i + 1, k):
+                weight = paths.distance(i, int(nodes[j]))
+                if np.isfinite(weight):
+                    options.append((weight, i, j))
+        options.sort(key=lambda item: item[0])
+        used = np.zeros(k, dtype=bool)
+        pairs: List[Tuple[int, int]] = []
+        to_boundary: List[int] = []
+        for weight, i, j in options:
+            if used[i]:
+                continue
+            if j >= 0:
+                if used[j]:
+                    continue
+                used[i] = used[j] = True
+                pairs.append((i, j))
+            else:
+                used[i] = True
+                to_boundary.append(i)
+            if used.all():
+                break
+        for i in range(k):
+            if not used[i]:
+                to_boundary.append(i)
+        return pairs, to_boundary
+
+
+class AutoMatcher(_BaseMatcher):
+    """Exact matching for small syndromes, greedy beyond a size threshold."""
+
+    def __init__(self, graph: DecodingGraph, exact_threshold: int = 40):
+        super().__init__(graph)
+        self.exact_threshold = exact_threshold
+        self._exact = MwpmMatcher(graph)
+        self._greedy = GreedyMatcher(graph)
+
+    def decode_nodes(self, nodes: np.ndarray) -> int:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return 0
+        if nodes.size <= self.exact_threshold:
+            return self._exact.decode_nodes(nodes)
+        return self._greedy.decode_nodes(nodes)
+
+    def _match(self, paths):  # pragma: no cover - never called directly
+        raise NotImplementedError
+
+
+def build_matcher(graph: DecodingGraph, method: str = "auto", exact_threshold: int = 40):
+    """Construct a decoder engine by name.
+
+    Accepted names: ``mwpm``/``exact``/``blossom`` (exact matching),
+    ``greedy``, ``auto`` (exact below a syndrome-size threshold, greedy
+    above), and ``union-find`` (the Union-Find decoder).
+    """
+    key = method.strip().lower()
+    if key in ("mwpm", "exact", "blossom"):
+        return MwpmMatcher(graph)
+    if key == "greedy":
+        return GreedyMatcher(graph)
+    if key == "auto":
+        return AutoMatcher(graph, exact_threshold=exact_threshold)
+    if key in ("union-find", "unionfind", "uf"):
+        from repro.decoder.union_find import UnionFindMatcher
+
+        return UnionFindMatcher(graph)
+    raise ValueError(f"unknown matching method {method!r}")

@@ -1,0 +1,30 @@
+"""Ququart density-matrix simulation of leakage spread (Section 3.3).
+
+The paper characterises how leakage spreads across a single Z stabilizer with
+a density-matrix simulation of five ququarts (four data qubits plus the parity
+qubit), reproducing the leakage phenomena reported for Google's Sycamore
+processor: each CNOT is followed by leakage transport, an RX(0.65*pi) error on
+the unleaked operand when the other operand is leaked, and leakage injection.
+This subpackage implements that simulation from scratch.
+"""
+
+from repro.densitymatrix.dm import DensityMatrix
+from repro.densitymatrix.ququart import (
+    LEVELS,
+    cnot_with_leakage,
+    leakage_injection_unitary,
+    leakage_transport_unitary,
+    rx_computational,
+)
+from repro.densitymatrix.study import SingleStabilizerLeakageStudy, StabilizerStudyResult
+
+__all__ = [
+    "LEVELS",
+    "DensityMatrix",
+    "cnot_with_leakage",
+    "rx_computational",
+    "leakage_transport_unitary",
+    "leakage_injection_unitary",
+    "SingleStabilizerLeakageStudy",
+    "StabilizerStudyResult",
+]

@@ -1,0 +1,128 @@
+"""A small multi-qudit density-matrix simulator.
+
+The state of ``n`` ququarts is stored as a ``4**n x 4**n`` complex density
+matrix.  Unitaries and Kraus channels on one or two qudits are applied by
+tensor contraction rather than by building full-size operators, which keeps
+the five-ququart stabilizer study fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.densitymatrix.ququart import LEVELS
+
+
+class DensityMatrix:
+    """Density matrix of ``num_qudits`` ququarts.
+
+    Args:
+        num_qudits: Number of four-level systems.
+        initial_levels: Optional classical basis state to initialise in (one
+            level per qudit); defaults to all-|0>.
+    """
+
+    def __init__(self, num_qudits: int, initial_levels: Sequence[int] = None):
+        if num_qudits < 1:
+            raise ValueError("num_qudits must be >= 1")
+        self.num_qudits = num_qudits
+        self.dim = LEVELS ** num_qudits
+        if initial_levels is None:
+            initial_levels = [0] * num_qudits
+        if len(initial_levels) != num_qudits:
+            raise ValueError("initial_levels must have one entry per qudit")
+        index = 0
+        for level in initial_levels:
+            if not 0 <= level < LEVELS:
+                raise ValueError(f"invalid level {level}")
+            index = index * LEVELS + level
+        self.rho = np.zeros((self.dim, self.dim), dtype=complex)
+        self.rho[index, index] = 1.0
+
+    # ------------------------------------------------------------------
+    # Operator application
+    # ------------------------------------------------------------------
+    def _contract(self, matrix: np.ndarray, rho: np.ndarray, qudits: Sequence[int], bra: bool) -> np.ndarray:
+        """Contract ``matrix`` against the ket (or bra) axes of ``rho``."""
+        k = len(qudits)
+        n = self.num_qudits
+        op = matrix.reshape((LEVELS,) * (2 * k))
+        tensor = rho.reshape((LEVELS,) * (2 * n))
+        axes = [q + (n if bra else 0) for q in qudits]
+        contracted = np.tensordot(op, tensor, axes=(list(range(k, 2 * k)), axes))
+        # tensordot puts the operator's output axes first; move them back.
+        contracted = np.moveaxis(contracted, list(range(k)), axes)
+        return contracted.reshape(self.dim, self.dim)
+
+    def apply_unitary(self, matrix: np.ndarray, qudits: Sequence[int]) -> None:
+        """Apply a unitary acting on the given qudits: rho -> U rho U^dagger."""
+        qudits = list(qudits)
+        expected = LEVELS ** len(qudits)
+        if matrix.shape != (expected, expected):
+            raise ValueError(f"operator shape {matrix.shape} does not match {len(qudits)} qudits")
+        rho = self._contract(matrix, self.rho, qudits, bra=False)
+        rho = self._contract(matrix.conj(), rho, qudits, bra=True)
+        self.rho = rho
+
+    def apply_kraus(self, kraus_operators: Iterable[np.ndarray], qudits: Sequence[int]) -> None:
+        """Apply a channel given by Kraus operators on the given qudits."""
+        qudits = list(qudits)
+        total = np.zeros_like(self.rho)
+        for kraus in kraus_operators:
+            rho = self._contract(kraus, self.rho, qudits, bra=False)
+            rho = self._contract(kraus.conj(), rho, qudits, bra=True)
+            total += rho
+        self.rho = total
+
+    def apply_probabilistic_unitary(
+        self, matrix: np.ndarray, qudits: Sequence[int], probability: float
+    ) -> None:
+        """With the given probability apply the unitary, otherwise do nothing."""
+        if probability <= 0.0:
+            return
+        if probability >= 1.0:
+            self.apply_unitary(matrix, qudits)
+            return
+        kraus = [
+            np.sqrt(1.0 - probability) * np.eye(matrix.shape[0], dtype=complex),
+            np.sqrt(probability) * matrix,
+        ]
+        self.apply_kraus(kraus, qudits)
+
+    def reset(self, qudit: int) -> None:
+        """Non-unitary reset of one qudit to |0> (removes leakage)."""
+        kraus: List[np.ndarray] = []
+        for level in range(LEVELS):
+            op = np.zeros((LEVELS, LEVELS), dtype=complex)
+            op[0, level] = 1.0
+            kraus.append(op)
+        self.apply_kraus(kraus, [qudit])
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+    def populations(self, qudit: int) -> np.ndarray:
+        """Level populations (length-4 probability vector) of one qudit."""
+        diag = np.real(np.diag(self.rho)).reshape((LEVELS,) * self.num_qudits)
+        axes = tuple(i for i in range(self.num_qudits) if i != qudit)
+        pops = diag.sum(axis=axes)
+        return np.clip(pops, 0.0, 1.0)
+
+    def leak_probability(self, qudit: int) -> float:
+        """Probability of finding a qudit in a leaked level (|2> or |3>)."""
+        pops = self.populations(qudit)
+        return float(pops[2] + pops[3])
+
+    def measure_probability(self, qudit: int, level: int) -> float:
+        """Probability of measuring a qudit in a specific level."""
+        return float(self.populations(qudit)[level])
+
+    def trace(self) -> float:
+        """Trace of the density matrix (should remain 1)."""
+        return float(np.real(np.trace(self.rho)))
+
+    def purity(self) -> float:
+        """Tr(rho^2); equals 1 for pure states."""
+        return float(np.real(np.trace(self.rho @ self.rho)))

@@ -1,0 +1,133 @@
+"""Ququart (four-level) operators.
+
+The leaked state |L> corresponds to the |2> and |3> levels of each ququart,
+mirroring the Sycamore leakage phenomena simulated in the paper.  All gates
+act as the usual qubit gates on the computational {|0>, |1>} subspace and as
+the identity (or a dedicated leakage interaction) on the leakage levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of levels per ququart.
+LEVELS = 4
+
+#: Levels considered "leaked".
+LEAKED_LEVELS = (2, 3)
+
+#: Levels forming the computational subspace.
+COMPUTATIONAL_LEVELS = (0, 1)
+
+
+def identity(num_qudits: int = 1) -> np.ndarray:
+    """Identity operator on ``num_qudits`` ququarts."""
+    return np.eye(LEVELS ** num_qudits, dtype=complex)
+
+
+def rx_computational(theta: float) -> np.ndarray:
+    """RX(theta) on the computational subspace, identity on leakage levels."""
+    op = np.eye(LEVELS, dtype=complex)
+    cos = np.cos(theta / 2.0)
+    sin = np.sin(theta / 2.0)
+    op[0, 0] = cos
+    op[1, 1] = cos
+    op[0, 1] = -1j * sin
+    op[1, 0] = -1j * sin
+    return op
+
+
+def x_computational() -> np.ndarray:
+    """Pauli-X on the computational subspace, identity on leakage levels."""
+    op = np.eye(LEVELS, dtype=complex)
+    op[0, 0] = 0.0
+    op[1, 1] = 0.0
+    op[0, 1] = 1.0
+    op[1, 0] = 1.0
+    return op
+
+
+def cnot_with_leakage(theta: float = 0.65 * np.pi) -> np.ndarray:
+    """The faulty CNOT of Figure 7(b) as a 16x16 unitary.
+
+    * both operands in the computational subspace: ideal CNOT;
+    * exactly one operand leaked: the unleaked operand suffers RX(theta), the
+      leaked operand is untouched (two-qubit gates are only calibrated for the
+      computational basis);
+    * both operands leaked: identity.
+    """
+    dim = LEVELS * LEVELS
+    op = np.zeros((dim, dim), dtype=complex)
+    rx = rx_computational(theta)[:2, :2]
+
+    def idx(control_level: int, target_level: int) -> int:
+        return control_level * LEVELS + target_level
+
+    # Control and target both in the computational subspace: ideal CNOT.
+    for c in COMPUTATIONAL_LEVELS:
+        for t in COMPUTATIONAL_LEVELS:
+            t_out = t ^ c
+            op[idx(c, t_out), idx(c, t)] = 1.0
+    # Control leaked, target computational: RX(theta) on the target.
+    for c in LEAKED_LEVELS:
+        for t_out in COMPUTATIONAL_LEVELS:
+            for t_in in COMPUTATIONAL_LEVELS:
+                op[idx(c, t_out), idx(c, t_in)] = rx[t_out, t_in]
+    # Target leaked, control computational: RX(theta) on the control.
+    for t in LEAKED_LEVELS:
+        for c_out in COMPUTATIONAL_LEVELS:
+            for c_in in COMPUTATIONAL_LEVELS:
+                op[idx(c_out, t), idx(c_in, t)] = rx[c_out, c_in]
+    # Both leaked: identity.
+    for c in LEAKED_LEVELS:
+        for t in LEAKED_LEVELS:
+            op[idx(c, t), idx(c, t)] = 1.0
+    return op
+
+
+def leakage_transport_unitary() -> np.ndarray:
+    """Two-ququart permutation that exchanges a |2> excitation between operands.
+
+    ``|2, g> <-> |g, 2>`` for every computational level ``g``; all other basis
+    states are fixed.  Applied probabilistically after each CNOT it implements
+    the leakage-transport channel of Figure 7(b).
+    """
+    dim = LEVELS * LEVELS
+    op = np.eye(dim, dtype=complex)
+
+    def idx(a: int, b: int) -> int:
+        return a * LEVELS + b
+
+    for g in COMPUTATIONAL_LEVELS:
+        a, b = idx(2, g), idx(g, 2)
+        op[a, a] = 0.0
+        op[b, b] = 0.0
+        op[a, b] = 1.0
+        op[b, a] = 1.0
+    return op
+
+
+def leakage_injection_unitary() -> np.ndarray:
+    """Single-ququart permutation exchanging |1> and |2> (leakage injection)."""
+    op = np.eye(LEVELS, dtype=complex)
+    op[1, 1] = 0.0
+    op[2, 2] = 0.0
+    op[1, 2] = 1.0
+    op[2, 1] = 1.0
+    return op
+
+
+def swap_computational() -> np.ndarray:
+    """Full two-ququart SWAP (used to decompose the LRC swap at qudit level)."""
+    dim = LEVELS * LEVELS
+    op = np.zeros((dim, dim), dtype=complex)
+    for a in range(LEVELS):
+        for b in range(LEVELS):
+            op[b * LEVELS + a, a * LEVELS + b] = 1.0
+    return op
+
+
+def is_unitary(matrix: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """Check unitarity (used by the property tests)."""
+    dim = matrix.shape[0]
+    return bool(np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=tolerance))

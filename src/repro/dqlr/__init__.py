@@ -1,0 +1,5 @@
+"""DQLR (Data Qubit Leakage Removal) protocol support (Appendix A.2)."""
+
+from repro.dqlr.protocol import DqlrBaselinePolicy, dqlr_policy_names, run_dqlr_comparison
+
+__all__ = ["DqlrBaselinePolicy", "dqlr_policy_names", "run_dqlr_comparison"]

@@ -1,0 +1,28 @@
+"""Memory-experiment harness, metrics, and parameter sweeps."""
+
+from repro.experiments.metrics import SpeculationCounts, binomial_stderr, wilson_interval
+from repro.experiments.results import MemoryExperimentResult, PolicySweepResult
+from repro.experiments.memory import MemoryExperiment
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment
+from repro.experiments.sweep import (
+    compare_policies,
+    ler_vs_cycles,
+    ler_vs_distance,
+    lpr_time_series,
+)
+
+__all__ = [
+    "SpeculationCounts",
+    "binomial_stderr",
+    "wilson_interval",
+    "MemoryExperimentResult",
+    "PolicySweepResult",
+    "MemoryExperiment",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "compare_policies",
+    "ler_vs_cycles",
+    "ler_vs_distance",
+    "lpr_time_series",
+]

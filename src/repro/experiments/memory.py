@@ -1,0 +1,230 @@
+"""The memory (state-preservation) experiment harness.
+
+A memory-Z experiment prepares the logical |0>, runs ``rounds`` rounds of
+syndrome extraction under a chosen LRC scheduling policy, measures every data
+qubit transversally, decodes the accumulated detection events with MWPM, and
+records whether the corrected logical observable flipped.  This is the
+workload behind every evaluation figure of the paper.
+
+The harness additionally records, per round, the leakage population ratio
+(total / data / parity), the number of leakage-removal operations scheduled,
+and the confusion matrix of the policy's per-qubit LRC decisions against the
+simulator's ground-truth leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.codes.layout import StabilizerType
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.policies.base import LrcPolicy
+from repro.core.qsg import KEY_FINAL_DATA, PROTOCOL_SWAP, QecScheduleGenerator
+from repro.decoder.decoder import SurfaceCodeDecoder
+from repro.experiments.metrics import SpeculationCounts
+from repro.experiments.results import MemoryExperimentResult
+from repro.noise.leakage import LeakageModel
+from repro.noise.model import NoiseParams
+from repro.sim.frame_simulator import LeakageFrameSimulator
+from repro.sim.rng import RngLike, make_rng
+
+
+@dataclass
+class _ShotOutcome:
+    """Raw per-shot observations before aggregation."""
+
+    logical_error: bool
+    lpr_total: np.ndarray
+    lpr_data: np.ndarray
+    lpr_parity: np.ndarray
+    lrcs: int
+    speculation: SpeculationCounts
+
+
+class MemoryExperiment:
+    """Runs memory-Z experiments for one (code, policy, noise) configuration.
+
+    Args:
+        code: The rotated surface code (or pass ``distance`` to build one).
+        policy: LRC scheduling policy instance.
+        noise: Circuit-level noise parameters.
+        leakage: Leakage model parameters.
+        rounds: Number of syndrome-extraction rounds per shot.  The paper uses
+            ``cycles * distance`` rounds for a ``cycles``-cycle experiment.
+        protocol: ``"swap"`` (main text) or ``"dqlr"`` (Appendix A.2).
+        decode: Whether to decode shots (disable for LPR-only studies).
+        decoder_method: Matching engine passed to the decoder.
+        seed: Seed or generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        code: Optional[RotatedSurfaceCode] = None,
+        policy: LrcPolicy = None,
+        noise: NoiseParams = None,
+        leakage: LeakageModel = None,
+        rounds: int = None,
+        distance: Optional[int] = None,
+        cycles: Optional[int] = None,
+        protocol: str = PROTOCOL_SWAP,
+        decode: bool = True,
+        decoder_method: str = "auto",
+        seed: RngLike = None,
+    ):
+        if code is None:
+            if distance is None:
+                raise ValueError("provide either a code instance or a distance")
+            code = RotatedSurfaceCode(distance)
+        self.code = code
+        if rounds is None:
+            if cycles is None:
+                raise ValueError("provide either rounds or cycles")
+            rounds = cycles * code.distance
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if policy is None:
+            raise ValueError("a scheduling policy is required")
+        self.policy = policy
+        self.noise = noise if noise is not None else NoiseParams.standard()
+        self.leakage = leakage if leakage is not None else LeakageModel.standard(self.noise.p)
+        self.rounds = rounds
+        self.protocol = protocol
+        self.decode = decode
+        self.rng = make_rng(seed)
+
+        adaptive_multilevel = bool(getattr(policy, "uses_multilevel_readout", False))
+        self.qsg = QecScheduleGenerator(
+            code, protocol=protocol, adaptive_multilevel=adaptive_multilevel
+        )
+        self.decoder: Optional[SurfaceCodeDecoder] = None
+        if decode:
+            self.decoder = SurfaceCodeDecoder(
+                code=code,
+                num_rounds=rounds,
+                stabilizer_type=StabilizerType.Z,
+                method=decoder_method,
+            )
+        self.policy.bind(code, rng=self.rng)
+        self._data_indices = np.asarray(code.data_indices, dtype=np.int64)
+        self._parity_indices = np.asarray(code.parity_indices, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Single-shot execution
+    # ------------------------------------------------------------------
+    def run_shot(self) -> _ShotOutcome:
+        """Run one Monte-Carlo shot and return its raw observations."""
+        sim = LeakageFrameSimulator(
+            self.code.num_qubits, self.noise, self.leakage, rng=self.rng
+        )
+        self.policy.start_shot()
+        assignment = self.policy.initial_assignment()
+
+        n_stabs = self.code.num_stabilizers
+        history = np.zeros((self.rounds, n_stabs), dtype=np.uint8)
+        lpr_total = np.zeros(self.rounds)
+        lpr_data = np.zeros(self.rounds)
+        lpr_parity = np.zeros(self.rounds)
+        speculation = SpeculationCounts()
+        total_lrcs = 0
+        previous_syndrome = np.zeros(n_stabs, dtype=np.uint8)
+
+        for round_index in range(self.rounds):
+            self._record_speculation(sim, assignment, speculation)
+            total_lrcs += len(assignment)
+
+            ops, layout = self.qsg.build_round(assignment)
+            records = sim.run(ops)
+            syndrome, labels, _ = self.qsg.assemble_syndrome(records, layout)
+            history[round_index] = syndrome
+
+            lpr_total[round_index] = sim.leaked_fraction()
+            lpr_data[round_index] = sim.leaked_fraction(self._data_indices)
+            lpr_parity[round_index] = sim.leaked_fraction(self._parity_indices)
+
+            detection_events = (syndrome ^ previous_syndrome).astype(bool)
+            previous_syndrome = syndrome
+            truth = sim.leaked[self._data_indices] if self.policy.uses_ground_truth else None
+            assignment = self.policy.decide(
+                round_index,
+                detection_events,
+                syndrome,
+                labels,
+                truth,
+            )
+
+        logical_error = False
+        if self.decode:
+            records = sim.run(self.qsg.build_final_data_measurement())
+            final_bits = records[KEY_FINAL_DATA].bits
+            logical_error = self.decoder.decode_shot(history, final_bits)
+
+        return _ShotOutcome(
+            logical_error=logical_error,
+            lpr_total=lpr_total,
+            lpr_data=lpr_data,
+            lpr_parity=lpr_parity,
+            lrcs=total_lrcs,
+            speculation=speculation,
+        )
+
+    def _record_speculation(
+        self,
+        sim: LeakageFrameSimulator,
+        assignment: Dict[int, int],
+        counts: SpeculationCounts,
+    ) -> None:
+        leaked = sim.leaked[self._data_indices]
+        predicted = np.zeros(self.code.num_data_qubits, dtype=bool)
+        if assignment:
+            predicted[np.asarray(list(assignment.keys()), dtype=np.int64)] = True
+        tp = int(np.count_nonzero(predicted & leaked))
+        fp = int(np.count_nonzero(predicted & ~leaked))
+        fn = int(np.count_nonzero(~predicted & leaked))
+        tn = int(np.count_nonzero(~predicted & ~leaked))
+        counts.update(tp, fp, tn, fn)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def run(self, shots: int) -> MemoryExperimentResult:
+        """Run ``shots`` Monte-Carlo shots and aggregate the observations."""
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
+        lpr_total = np.zeros(self.rounds)
+        lpr_data = np.zeros(self.rounds)
+        lpr_parity = np.zeros(self.rounds)
+        speculation = SpeculationCounts()
+        logical_errors = 0
+        total_lrcs = 0
+        for _ in range(shots):
+            outcome = self.run_shot()
+            lpr_total += outcome.lpr_total
+            lpr_data += outcome.lpr_data
+            lpr_parity += outcome.lpr_parity
+            speculation = speculation.merge(outcome.speculation)
+            logical_errors += int(outcome.logical_error)
+            total_lrcs += outcome.lrcs
+        lpr_total /= shots
+        lpr_data /= shots
+        lpr_parity /= shots
+        return MemoryExperimentResult(
+            policy=self.policy.name,
+            distance=self.code.distance,
+            rounds=self.rounds,
+            physical_error_rate=self.noise.p,
+            shots=shots,
+            logical_errors=logical_errors if self.decode else -1,
+            lpr_total=lpr_total,
+            lpr_data=lpr_data,
+            lpr_parity=lpr_parity,
+            lrcs_per_round=total_lrcs / (shots * self.rounds),
+            speculation=speculation,
+            metadata={
+                "protocol": self.protocol,
+                "transport_model": self.leakage.transport_model.value,
+                "leakage_enabled": self.leakage.enabled,
+            },
+        )

@@ -1,0 +1,115 @@
+"""Evaluation metrics.
+
+The paper evaluates scheduling policies with:
+
+* the logical error rate (LER), Equation (4);
+* the leakage population ratio (LPR), Equation (5);
+* LRC speculation accuracy with its false-positive and false-negative rates
+  (Figure 16); and
+* the average number of LRCs scheduled per round (Table 4).
+
+This module provides the counting containers and simple statistics used for
+all of them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass
+class SpeculationCounts:
+    """Confusion-matrix counts for per-round, per-data-qubit LRC decisions.
+
+    A *positive* decision means "schedule an LRC for this data qubit in this
+    round"; the ground truth is whether the qubit was actually leaked when the
+    round began.
+    """
+
+    true_positive: int = 0
+    false_positive: int = 0
+    true_negative: int = 0
+    false_negative: int = 0
+
+    def update(self, tp: int, fp: int, tn: int, fn: int) -> None:
+        self.true_positive += int(tp)
+        self.false_positive += int(fp)
+        self.true_negative += int(tn)
+        self.false_negative += int(fn)
+
+    def merge(self, other: "SpeculationCounts") -> "SpeculationCounts":
+        return SpeculationCounts(
+            self.true_positive + other.true_positive,
+            self.false_positive + other.false_positive,
+            self.true_negative + other.true_negative,
+            self.false_negative + other.false_negative,
+        )
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of decisions that were correct (Figure 16, top)."""
+        if self.total == 0:
+            return float("nan")
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN): LRCs scheduled on qubits that were not leaked."""
+        denom = self.false_positive + self.true_negative
+        if denom == 0:
+            return float("nan")
+        return self.false_positive / denom
+
+    @property
+    def false_negative_rate(self) -> float:
+        """FN / (FN + TP): leaked qubits that did not receive an LRC."""
+        denom = self.false_negative + self.true_positive
+        if denom == 0:
+            return float("nan")
+        return self.false_negative / denom
+
+    @property
+    def true_positive_rate(self) -> float:
+        denom = self.false_negative + self.true_positive
+        if denom == 0:
+            return float("nan")
+        return self.true_positive / denom
+
+
+def binomial_stderr(successes: int, trials: int) -> float:
+    """Standard error of a binomial proportion estimate."""
+    if trials <= 0:
+        return float("nan")
+    rate = successes / trials
+    return math.sqrt(max(rate * (1.0 - rate), 0.0) / trials)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if trials <= 0:
+        return (float("nan"), float("nan"))
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt((phat * (1.0 - phat) + z * z / (4 * trials)) / trials)
+    low = max(0.0, (centre - margin) / denom)
+    high = min(1.0, (centre + margin) / denom)
+    return (low, high)
+
+
+def improvement_factor(baseline: float, improved: float) -> float:
+    """Multiplicative improvement ``baseline / improved`` (paper's "Nx better")."""
+    if improved <= 0.0:
+        return float("inf")
+    return baseline / improved

@@ -1,0 +1,163 @@
+"""Registry mapping every paper table/figure to its reproduction entry point.
+
+This is the machine-readable form of the per-experiment index in DESIGN.md:
+each entry names the workload, the modules that implement it, and the
+benchmark that regenerates it, so tooling (the CLI's ``experiments``
+subcommand, documentation builds, CI) can enumerate the full evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One table or figure of the paper and how this repository reproduces it.
+
+    Attributes:
+        experiment_id: Short identifier (e.g. ``fig14``, ``table3``).
+        title: What the experiment shows.
+        workload: Workload and key parameters used by the paper.
+        modules: Library modules implementing the pieces.
+        benchmark: Benchmark file that regenerates the data.
+    """
+
+    experiment_id: str
+    title: str
+    workload: str
+    modules: Tuple[str, ...]
+    benchmark: str
+
+
+_SPECS = (
+    ExperimentSpec(
+        "fig2c",
+        "Leakage errors sharply degrade the logical error rate",
+        "memory-Z, d=3 (paper: d=7), p=1e-3, 1-5 QEC cycles, with/without leakage",
+        ("repro.experiments.sweep", "repro.core.policies"),
+        "benchmarks/bench_fig02_leakage_impact.py",
+    ),
+    ExperimentSpec(
+        "eq1-2",
+        "LRCs facilitate leakage transport (analytic + Monte-Carlo)",
+        "single stabilizer, p_leak=1e-4, p_transport=0.1",
+        ("repro.analysis.analytic", "repro.sim.frame_simulator"),
+        "benchmarks/bench_eq12_transport.py",
+    ),
+    ExperimentSpec(
+        "table2",
+        "Probability a leaked data qubit stays invisible for r rounds",
+        "analytic, four-neighbour data qubit",
+        ("repro.analysis.analytic",),
+        "benchmarks/bench_table2_invisible.py",
+    ),
+    ExperimentSpec(
+        "fig5",
+        "LPR under Always-LRCs, split into data and parity qubits",
+        "memory-Z, d=5 (paper: d=7), p=1e-3, 10 cycles",
+        ("repro.experiments.memory", "repro.core.policies.always_lrc"),
+        "benchmarks/bench_fig05_lpr_always.py",
+    ),
+    ExperimentSpec(
+        "fig6",
+        "Always-LRCs versus idealized (Optimal) scheduling",
+        "memory-Z, d=5 (paper: d=7), p=1e-3, 10 cycles",
+        ("repro.experiments.sweep", "repro.core.policies.optimal"),
+        "benchmarks/bench_fig06_always_vs_optimal.py",
+    ),
+    ExperimentSpec(
+        "fig8",
+        "Density-matrix study of leakage spread across one Z stabilizer",
+        "five ququarts, RX(0.65*pi) faulty CNOTs, transport 0.1",
+        ("repro.densitymatrix.study", "repro.densitymatrix.dm"),
+        "benchmarks/bench_fig08_density_matrix.py",
+    ),
+    ExperimentSpec(
+        "fig14",
+        "LER vs code distance for Always/ERASER/ERASER+M/Optimal at p=1e-3",
+        "memory-Z, d=3..11 (default 3..5), 10 cycles",
+        ("repro.experiments.sweep", "repro.core.policies", "repro.decoder"),
+        "benchmarks/bench_fig14_ler_vs_distance.py",
+    ),
+    ExperimentSpec(
+        "fig14b",
+        "LER vs code distance at the lower physical error rate p=1e-4",
+        "memory-Z, d=3..5, 10 cycles",
+        ("repro.experiments.sweep",),
+        "benchmarks/bench_fig14b_low_error_rate.py",
+    ),
+    ExperimentSpec(
+        "fig15",
+        "LPR over time for all four policies",
+        "memory-Z, d=5 (paper: d=11), p=1e-3, 10 cycles",
+        ("repro.experiments.sweep",),
+        "benchmarks/bench_fig15_lpr_policies.py",
+    ),
+    ExperimentSpec(
+        "fig16",
+        "LRC speculation accuracy, FPR and FNR",
+        "memory-Z, d=3..5 (paper: 3..11), p=1e-3, 10 cycles",
+        ("repro.experiments.metrics", "repro.core.lsb"),
+        "benchmarks/bench_fig16_speculation.py",
+    ),
+    ExperimentSpec(
+        "table3",
+        "FPGA utilisation and latency of the ERASER controller",
+        "Kintex UltraScale+ xcku3p, d=3..11",
+        ("repro.hardware.cost_model", "repro.hardware.rtl_gen"),
+        "benchmarks/bench_table3_fpga.py",
+    ),
+    ExperimentSpec(
+        "table4",
+        "Average LRCs scheduled per round per policy",
+        "memory-Z, d=3..5 (paper: 3..11), p=1e-3, 10 cycles",
+        ("repro.experiments.sweep",),
+        "benchmarks/bench_table4_lrc_counts.py",
+    ),
+    ExperimentSpec(
+        "fig17",
+        "LER/LPR under the alternative (exchange) leakage-transport model",
+        "memory-Z, d=3..5, p=1e-3, exchange transport",
+        ("repro.noise.leakage", "repro.experiments.sweep"),
+        "benchmarks/bench_fig17_alt_transport.py",
+    ),
+    ExperimentSpec(
+        "fig20",
+        "Scheduling Google's DQLR protocol with ERASER",
+        "memory-Z, d=3..5, p=1e-3, DQLR protocol, exchange transport",
+        ("repro.dqlr.protocol", "repro.core.qsg"),
+        "benchmarks/bench_fig20_dqlr.py",
+    ),
+    ExperimentSpec(
+        "ablations",
+        "Design-choice ablations: speculation threshold, backups, matcher",
+        "memory-Z, d=5, p=1e-3, 10 cycles",
+        ("repro.core.lsb", "repro.core.dli", "repro.decoder.matching"),
+        "benchmarks/bench_ablation_design_choices.py",
+    ),
+)
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {spec.experiment_id: spec for spec in _SPECS}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (raises KeyError with a helpful message)."""
+    key = experiment_id.strip().lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key]
+
+
+def format_experiment_index() -> str:
+    """Plain-text index of every experiment (used by the CLI)."""
+    lines = []
+    for spec in _SPECS:
+        lines.append(f"{spec.experiment_id:<10s} {spec.title}")
+        lines.append(f"{'':<10s}   workload : {spec.workload}")
+        lines.append(f"{'':<10s}   modules  : {', '.join(spec.modules)}")
+        lines.append(f"{'':<10s}   benchmark: {spec.benchmark}")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Result containers for memory experiments and policy sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.metrics import SpeculationCounts, binomial_stderr, wilson_interval
+
+
+@dataclass
+class MemoryExperimentResult:
+    """Aggregated outcome of one memory-experiment configuration.
+
+    Attributes:
+        policy: Canonical policy name.
+        distance: Surface code distance.
+        rounds: Number of syndrome-extraction rounds per shot.
+        physical_error_rate: The physical error rate ``p``.
+        shots: Number of Monte-Carlo shots.
+        logical_errors: Number of shots that ended in a logical error
+            (``-1`` when decoding was disabled).
+        lpr_total / lpr_data / lpr_parity: Per-round leakage population ratios
+            averaged over shots (Equation 5).
+        lrcs_per_round: Average number of leakage-removal operations per round.
+        speculation: Confusion-matrix counts of the per-round LRC decisions.
+        metadata: Free-form extra information (protocol, transport model, ...).
+    """
+
+    policy: str
+    distance: int
+    rounds: int
+    physical_error_rate: float
+    shots: int
+    logical_errors: int
+    lpr_total: np.ndarray
+    lpr_data: np.ndarray
+    lpr_parity: np.ndarray
+    lrcs_per_round: float
+    speculation: SpeculationCounts
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def logical_error_rate(self) -> float:
+        """LER as defined by Equation (4)."""
+        if self.shots == 0 or self.logical_errors < 0:
+            return float("nan")
+        return self.logical_errors / self.shots
+
+    @property
+    def logical_error_rate_stderr(self) -> float:
+        if self.logical_errors < 0:
+            return float("nan")
+        return binomial_stderr(self.logical_errors, self.shots)
+
+    @property
+    def logical_error_rate_interval(self):
+        if self.logical_errors < 0:
+            return (float("nan"), float("nan"))
+        return wilson_interval(self.logical_errors, self.shots)
+
+    @property
+    def mean_lpr(self) -> float:
+        """Time-averaged leakage population ratio."""
+        if self.lpr_total.size == 0:
+            return float("nan")
+        return float(np.mean(self.lpr_total))
+
+    @property
+    def final_lpr(self) -> float:
+        """Leakage population ratio after the last round."""
+        if self.lpr_total.size == 0:
+            return float("nan")
+        return float(self.lpr_total[-1])
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dictionary form suitable for JSON/CSV serialisation."""
+        return {
+            "policy": self.policy,
+            "distance": self.distance,
+            "rounds": self.rounds,
+            "p": self.physical_error_rate,
+            "shots": self.shots,
+            "logical_errors": self.logical_errors,
+            "logical_error_rate": self.logical_error_rate,
+            "ler_stderr": self.logical_error_rate_stderr,
+            "mean_lpr": self.mean_lpr,
+            "final_lpr": self.final_lpr,
+            "lrcs_per_round": self.lrcs_per_round,
+            "speculation_accuracy": self.speculation.accuracy,
+            "false_positive_rate": self.speculation.false_positive_rate,
+            "false_negative_rate": self.speculation.false_negative_rate,
+            **{f"meta_{k}": v for k, v in self.metadata.items()},
+        }
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        ler = self.logical_error_rate
+        ler_text = f"{ler:.3e}" if ler == ler else "n/a"
+        return (
+            f"{self.policy:>11s}  d={self.distance:<2d} rounds={self.rounds:<4d} "
+            f"p={self.physical_error_rate:.0e} shots={self.shots:<6d} "
+            f"LER={ler_text}  mean LPR={self.mean_lpr:.2e}  "
+            f"LRCs/round={self.lrcs_per_round:6.2f}  "
+            f"acc={100 * self.speculation.accuracy:5.1f}%"
+        )
+
+
+@dataclass
+class PolicySweepResult:
+    """Collection of :class:`MemoryExperimentResult` across a parameter sweep."""
+
+    results: List[MemoryExperimentResult] = field(default_factory=list)
+
+    def add(self, result: MemoryExperimentResult) -> None:
+        self.results.append(result)
+
+    def filter(self, **criteria) -> "PolicySweepResult":
+        """Select results whose attributes match the given keyword criteria."""
+        selected = []
+        for result in self.results:
+            if all(getattr(result, key) == value for key, value in criteria.items()):
+                selected.append(result)
+        return PolicySweepResult(selected)
+
+    def by_policy(self, policy: str) -> List[MemoryExperimentResult]:
+        return [r for r in self.results if r.policy == policy]
+
+    def policies(self) -> List[str]:
+        seen: List[str] = []
+        for result in self.results:
+            if result.policy not in seen:
+                seen.append(result.policy)
+        return seen
+
+    def distances(self) -> List[int]:
+        return sorted({r.distance for r in self.results})
+
+    def ler_table(self) -> Dict[str, Dict[int, float]]:
+        """Nested mapping ``policy -> distance -> LER`` (Figure 14 shape)."""
+        table: Dict[str, Dict[int, float]] = {}
+        for result in self.results:
+            table.setdefault(result.policy, {})[result.distance] = result.logical_error_rate
+        return table
+
+    def lrc_table(self) -> Dict[str, Dict[int, float]]:
+        """Nested mapping ``policy -> distance -> average LRCs per round`` (Table 4)."""
+        table: Dict[str, Dict[int, float]] = {}
+        for result in self.results:
+            table.setdefault(result.policy, {})[result.distance] = result.lrcs_per_round
+        return table
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [r.to_dict() for r in self.results]
+
+    def format_table(self) -> str:
+        """Multi-line human-readable summary of every result in the sweep."""
+        return "\n".join(result.summary() for result in self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)

@@ -1,0 +1,179 @@
+"""Parameter sweeps used by the benchmark harness and the examples.
+
+These helpers wrap :class:`~repro.experiments.memory.MemoryExperiment` so that
+every table and figure of the paper can be regenerated with a single call:
+
+* :func:`ler_vs_distance` — Figure 14 / 17 / 20 style sweeps (LER vs distance
+  for several policies),
+* :func:`lpr_time_series` — Figure 5 / 6 / 15 / 18 / 21 style leakage
+  population ratio traces,
+* :func:`compare_policies` — a general sweep returning a
+  :class:`~repro.experiments.results.PolicySweepResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.policies import make_policy
+from repro.core.qsg import PROTOCOL_SWAP
+from repro.experiments.memory import MemoryExperiment
+from repro.experiments.results import MemoryExperimentResult, PolicySweepResult
+from repro.noise.leakage import LeakageModel, LeakageTransportModel
+from repro.noise.model import NoiseParams
+from repro.sim.rng import RngLike, make_rng
+
+DEFAULT_POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
+
+
+def _make_leakage(
+    p: float,
+    leakage_enabled: bool,
+    transport_model: LeakageTransportModel,
+) -> LeakageModel:
+    if not leakage_enabled:
+        return LeakageModel.disabled()
+    return LeakageModel.standard(p, transport_model=transport_model)
+
+
+def run_single(
+    distance: int,
+    policy_name: str,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 100,
+    leakage_enabled: bool = True,
+    transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
+    protocol: str = PROTOCOL_SWAP,
+    decode: bool = True,
+    decoder_method: str = "auto",
+    seed: RngLike = None,
+    rounds: Optional[int] = None,
+) -> MemoryExperimentResult:
+    """Run one (distance, policy) configuration and return its result."""
+    code = RotatedSurfaceCode(distance)
+    noise = NoiseParams.standard(p)
+    leakage = _make_leakage(p, leakage_enabled, transport_model)
+    experiment = MemoryExperiment(
+        code=code,
+        policy=make_policy(policy_name),
+        noise=noise,
+        leakage=leakage,
+        rounds=rounds,
+        cycles=cycles if rounds is None else None,
+        protocol=protocol,
+        decode=decode,
+        decoder_method=decoder_method,
+        seed=seed,
+    )
+    return experiment.run(shots)
+
+
+def compare_policies(
+    distances: Sequence[int],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 100,
+    leakage_enabled: bool = True,
+    transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
+    protocol: str = PROTOCOL_SWAP,
+    decode: bool = True,
+    decoder_method: str = "auto",
+    seed: RngLike = None,
+) -> PolicySweepResult:
+    """Sweep policies across code distances (the shape behind Figures 14-17, 20)."""
+    rng = make_rng(seed)
+    sweep = PolicySweepResult()
+    for distance in distances:
+        for policy_name in policies:
+            result = run_single(
+                distance=distance,
+                policy_name=policy_name,
+                p=p,
+                cycles=cycles,
+                shots=shots,
+                leakage_enabled=leakage_enabled,
+                transport_model=transport_model,
+                protocol=protocol,
+                decode=decode,
+                decoder_method=decoder_method,
+                seed=rng,
+            )
+            sweep.add(result)
+    return sweep
+
+
+def ler_vs_distance(
+    distances: Sequence[int],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    **kwargs,
+) -> Dict[str, Dict[int, float]]:
+    """Logical error rate per policy per distance (Figure 14 series)."""
+    sweep = compare_policies(distances, policies, decode=True, **kwargs)
+    return sweep.ler_table()
+
+
+def lpr_time_series(
+    distance: int,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 50,
+    transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
+    protocol: str = PROTOCOL_SWAP,
+    seed: RngLike = None,
+) -> Dict[str, np.ndarray]:
+    """Per-round leakage population ratio per policy (Figures 5, 15, 18, 21).
+
+    Decoding is disabled because the LPR does not depend on it, which makes
+    these long time-series sweeps much faster.
+    """
+    rng = make_rng(seed)
+    series: Dict[str, np.ndarray] = {}
+    for policy_name in policies:
+        result = run_single(
+            distance=distance,
+            policy_name=policy_name,
+            p=p,
+            cycles=cycles,
+            shots=shots,
+            transport_model=transport_model,
+            protocol=protocol,
+            decode=False,
+            seed=rng,
+        )
+        series[result.policy] = result.lpr_total
+    return series
+
+
+def ler_vs_cycles(
+    distance: int,
+    policies: Sequence[str],
+    cycles_list: Sequence[int],
+    p: float = 1e-3,
+    shots: int = 100,
+    leakage_enabled: bool = True,
+    seed: RngLike = None,
+    decoder_method: str = "auto",
+) -> Dict[str, Dict[int, float]]:
+    """LER as a function of the number of QEC cycles (Figures 1(c), 2(c), 6)."""
+    rng = make_rng(seed)
+    table: Dict[str, Dict[int, float]] = {}
+    for cycles in cycles_list:
+        for policy_name in policies:
+            result = run_single(
+                distance=distance,
+                policy_name=policy_name,
+                p=p,
+                cycles=cycles,
+                shots=shots,
+                leakage_enabled=leakage_enabled,
+                decoder_method=decoder_method,
+                seed=rng,
+            )
+            table.setdefault(result.policy, {})[cycles] = result.logical_error_rate
+    return table

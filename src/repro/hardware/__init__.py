@@ -1,0 +1,11 @@
+"""Hardware-cost modelling and RTL generation for the ERASER controller."""
+
+from repro.hardware.cost_model import FpgaCostModel, FpgaResources, KINTEX_ULTRASCALE_PLUS
+from repro.hardware.rtl_gen import generate_eraser_rtl
+
+__all__ = [
+    "FpgaCostModel",
+    "FpgaResources",
+    "KINTEX_ULTRASCALE_PLUS",
+    "generate_eraser_rtl",
+]

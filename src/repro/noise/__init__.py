@@ -1,0 +1,6 @@
+"""Noise and leakage models used by the ERASER reproduction."""
+
+from repro.noise.model import NoiseParams
+from repro.noise.leakage import LeakageModel, LeakageTransportModel
+
+__all__ = ["NoiseParams", "LeakageModel", "LeakageTransportModel"]

@@ -1,0 +1,104 @@
+"""Leakage error model.
+
+Section 5.2.2 of the paper extends the circuit-level error model with leakage:
+
+* leakage is injected on data qubits at the beginning of each round with
+  probability ``0.1 p`` (environment-induced leakage),
+* leakage is injected on the operands of every CNOT with probability ``0.1 p``
+  (operation-induced leakage),
+* a CNOT between a leaked and an unleaked qubit applies a random Pauli to the
+  unleaked operand and transports leakage to it with probability ``0.1``,
+* seepage (a leaked qubit spontaneously returning to the computational basis
+  in a random state) occurs with probability ``0.1 p``.
+
+Two leakage transport models are provided, matching the main text and
+Appendix A.1:
+
+* ``REMAIN``: the source qubit stays leaked after a transport (both qubits are
+  leaked afterwards).  This is the conservative model used in the main text.
+* ``EXCHANGE``: leakage is exchanged; the receiving qubit becomes leaked while
+  the source returns to the computational basis in a random state.  If the
+  receiver was already leaked the transport has no effect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class LeakageTransportModel(enum.Enum):
+    """How leakage moves between the operands of a two-qubit gate."""
+
+    REMAIN = "remain"
+    EXCHANGE = "exchange"
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Probabilities governing leakage injection, transport and removal.
+
+    Attributes:
+        p_leak_round: Environment-induced leakage probability per data qubit
+            per round (``0.1 p``).
+        p_leak_gate: Operation-induced leakage probability per CNOT operand
+            (``0.1 p``).
+        p_transport: Probability that a CNOT between a leaked and an unleaked
+            qubit transports leakage onto the unleaked operand (``0.1``).
+        p_seepage: Probability per round that a leaked qubit returns to the
+            computational basis on its own (``0.1 p``).
+        transport_model: Main-text ``REMAIN`` model or Appendix-A.1
+            ``EXCHANGE`` model.
+        dqlr_reset_excitation: Probability that a failed parity reset before a
+            LeakageISWAP excites the data qubit to a leaked state
+            (Appendix A.2, Figure 19(b)).
+    """
+
+    p_leak_round: float
+    p_leak_gate: float
+    p_transport: float
+    p_seepage: float
+    transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN
+    dqlr_reset_excitation: float = 0.5
+
+    @classmethod
+    def standard(
+        cls,
+        p: float = 1e-3,
+        transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
+    ) -> "LeakageModel":
+        """The paper's default leakage model derived from physical rate ``p``."""
+        return cls(
+            p_leak_round=0.1 * p,
+            p_leak_gate=0.1 * p,
+            p_transport=0.1,
+            p_seepage=0.1 * p,
+            transport_model=transport_model,
+        )
+
+    @classmethod
+    def disabled(cls) -> "LeakageModel":
+        """A model in which leakage never occurs (baseline without leakage)."""
+        return cls(0.0, 0.0, 0.0, 0.0)
+
+    def with_overrides(self, **kwargs) -> "LeakageModel":
+        """Return a copy of the model with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def enabled(self) -> bool:
+        """True if any leakage injection mechanism is active."""
+        return self.p_leak_round > 0.0 or self.p_leak_gate > 0.0
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if any field is not a probability."""
+        for name in (
+            "p_leak_round",
+            "p_leak_gate",
+            "p_transport",
+            "p_seepage",
+            "dqlr_reset_excitation",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name}={value} is not a valid probability")

@@ -1,0 +1,77 @@
+"""Circuit-level noise parameters.
+
+The paper (Section 5.2.1) uses a circuit-level error model parameterised by a
+single physical error rate ``p``:
+
+* depolarising errors on data qubits with probability ``p`` at the start of a
+  round,
+* measurement errors with probability ``p``,
+* depolarising errors on the operands of each CNOT or H gate with
+  probability ``p``,
+* initialisation errors after a reset with probability ``p``.
+
+:class:`NoiseParams` exposes each of these knobs individually so that ablation
+studies can vary them independently, while :meth:`NoiseParams.standard`
+constructs the paper's default configuration from ``p`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class NoiseParams:
+    """Probabilities for every circuit-level error mechanism.
+
+    Attributes:
+        p: Headline physical error rate (kept for reporting purposes).
+        p_round_depolarize: Depolarising error on each data qubit at the start
+            of a syndrome extraction round.
+        p_gate1: Depolarising error after a single-qubit gate (H).
+        p_gate2: Two-qubit depolarising error after a CNOT.
+        p_measure: Classical measurement flip probability.
+        p_reset: Initialisation error after a reset (prepares |1> instead of
+            |0>).
+        p_multilevel_readout_error: Misclassification probability of the
+            multi-level (|0>/|1>/|L>) discriminator used by ERASER+M
+            (``10 p`` in the paper).
+    """
+
+    p: float
+    p_round_depolarize: float
+    p_gate1: float
+    p_gate2: float
+    p_measure: float
+    p_reset: float
+    p_multilevel_readout_error: float
+
+    @classmethod
+    def standard(cls, p: float = 1e-3) -> "NoiseParams":
+        """The paper's default circuit-level error model at error rate ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be a probability")
+        return cls(
+            p=p,
+            p_round_depolarize=p,
+            p_gate1=p,
+            p_gate2=p,
+            p_measure=p,
+            p_reset=p,
+            p_multilevel_readout_error=min(1.0, 10.0 * p),
+        )
+
+    @classmethod
+    def noiseless(cls) -> "NoiseParams":
+        """All error probabilities zero (useful for testing)."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def with_overrides(self, **kwargs: float) -> "NoiseParams":
+        """Return a copy of the parameters with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if any field is not a probability."""
+        for name, value in self.__dict__.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name}={value} is not a valid probability")

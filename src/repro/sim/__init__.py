@@ -1,0 +1,39 @@
+"""Leakage-aware stabilizer-circuit simulation.
+
+The paper extends Google's Stim with leakage errors.  Stim itself has no
+leakage support (and is not available in this offline environment), so this
+subpackage provides a from-scratch, numpy-vectorised Pauli-frame simulator
+that tracks, per physical qubit, an X/Z error frame plus a leakage flag.  The
+simulator executes the lightweight circuit IR defined in
+:mod:`repro.sim.circuit` and implements the circuit-level noise and leakage
+model of Section 5.2 of the paper.
+"""
+
+from repro.sim.circuit import (
+    Cnot,
+    Hadamard,
+    LeakISwap,
+    LrcFinalize,
+    Measure,
+    MeasureReset,
+    Operation,
+    Reset,
+    RoundNoise,
+)
+from repro.sim.frame_simulator import LeakageFrameSimulator, MeasurementRecord
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Operation",
+    "RoundNoise",
+    "Hadamard",
+    "Cnot",
+    "Measure",
+    "MeasureReset",
+    "Reset",
+    "LrcFinalize",
+    "LeakISwap",
+    "LeakageFrameSimulator",
+    "MeasurementRecord",
+    "make_rng",
+]

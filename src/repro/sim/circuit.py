@@ -1,0 +1,170 @@
+"""Lightweight circuit intermediate representation.
+
+Rounds of syndrome extraction are expressed as short lists of vectorised
+operations.  Each operation acts on arrays of qubit indices so the simulator
+can process an entire layer of gates with a handful of numpy calls regardless
+of code distance.  The QEC Schedule Generator (:mod:`repro.core.qsg`) emits
+these operations; the :class:`~repro.sim.frame_simulator.LeakageFrameSimulator`
+consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+IndexArray = Union[Sequence[int], np.ndarray]
+
+
+def _as_index_array(indices: IndexArray) -> np.ndarray:
+    arr = np.asarray(indices, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("qubit index arrays must be one-dimensional")
+    return arr
+
+
+@dataclass
+class Operation:
+    """Base class for all circuit operations."""
+
+
+@dataclass
+class RoundNoise(Operation):
+    """Start-of-round idling noise on the given qubits.
+
+    Applies single-qubit depolarising noise, environment-induced leakage
+    injection, and seepage, per the error model in Section 5.2.
+    """
+
+    qubits: np.ndarray
+
+    def __init__(self, qubits: IndexArray):
+        self.qubits = _as_index_array(qubits)
+
+
+@dataclass
+class Hadamard(Operation):
+    """A layer of Hadamard gates (used to prepare/unprepare X-type ancillas)."""
+
+    qubits: np.ndarray
+
+    def __init__(self, qubits: IndexArray):
+        self.qubits = _as_index_array(qubits)
+
+
+@dataclass
+class Cnot(Operation):
+    """A layer of CNOT gates acting on disjoint (control, target) pairs."""
+
+    controls: np.ndarray
+    targets: np.ndarray
+
+    def __init__(self, controls: IndexArray, targets: IndexArray):
+        self.controls = _as_index_array(controls)
+        self.targets = _as_index_array(targets)
+        if self.controls.shape != self.targets.shape:
+            raise ValueError("controls and targets must have the same length")
+        combined = np.concatenate([self.controls, self.targets])
+        if len(np.unique(combined)) != len(combined):
+            raise ValueError("CNOT layer must act on disjoint qubit pairs")
+
+
+@dataclass
+class Measure(Operation):
+    """Z-basis measurement of the given qubits (no reset).
+
+    Results are recorded under ``key``.  ``meta`` is carried through untouched
+    so callers can attach, e.g., the stabilizer indices being measured.
+    """
+
+    qubits: np.ndarray
+    key: str
+    meta: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __init__(self, qubits: IndexArray, key: str, meta: Sequence[int] = ()):
+        self.qubits = _as_index_array(qubits)
+        self.key = key
+        self.meta = tuple(meta)
+
+
+@dataclass
+class Reset(Operation):
+    """Reset the given qubits to |0> (removes leakage, may suffer init error)."""
+
+    qubits: np.ndarray
+
+    def __init__(self, qubits: IndexArray):
+        self.qubits = _as_index_array(qubits)
+
+
+@dataclass
+class MeasureReset(Operation):
+    """Measurement immediately followed by a reset (standard ancilla readout)."""
+
+    qubits: np.ndarray
+    key: str
+    meta: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __init__(self, qubits: IndexArray, key: str, meta: Sequence[int] = ()):
+        self.qubits = _as_index_array(qubits)
+        self.key = key
+        self.meta = tuple(meta)
+
+
+@dataclass
+class LrcFinalize(Operation):
+    """The tail of a SWAP leakage reduction circuit.
+
+    At this point the data qubit and its parity partner have already been
+    swapped; this operation measures the data-side physical qubit (which now
+    holds the parity outcome), resets it (removing any leakage the data qubit
+    carried) and then swaps the parked data state back with two CNOTs.
+
+    When ``adaptive_multilevel`` is True the ERASER+M modification of the QEC
+    Schedule Generator (Section 4.6.2) is applied: if the measured qubit is
+    classified as leaked, the swap-back is squashed and the parity qubit is
+    reset instead.
+    """
+
+    data_qubits: np.ndarray
+    ancillas: np.ndarray
+    key: str
+    meta: Tuple[int, ...] = field(default_factory=tuple)
+    adaptive_multilevel: bool = False
+
+    def __init__(
+        self,
+        data_qubits: IndexArray,
+        ancillas: IndexArray,
+        key: str,
+        meta: Sequence[int] = (),
+        adaptive_multilevel: bool = False,
+    ):
+        self.data_qubits = _as_index_array(data_qubits)
+        self.ancillas = _as_index_array(ancillas)
+        if self.data_qubits.shape != self.ancillas.shape:
+            raise ValueError("data_qubits and ancillas must have the same length")
+        self.key = key
+        self.meta = tuple(meta)
+        self.adaptive_multilevel = adaptive_multilevel
+
+
+@dataclass
+class LeakISwap(Operation):
+    """Google's DQLR LeakageISWAP between data qubits and (reset) parity qubits.
+
+    Moves leakage from each data qubit onto its parity partner.  If the
+    preceding parity reset failed (parity in |1>), the operation can excite the
+    data qubit into a leaked state instead (Appendix A.2, Figure 19(b)).
+    """
+
+    data_qubits: np.ndarray
+    ancillas: np.ndarray
+
+    def __init__(self, data_qubits: IndexArray, ancillas: IndexArray):
+        self.data_qubits = _as_index_array(data_qubits)
+        self.ancillas = _as_index_array(ancillas)
+        if self.data_qubits.shape != self.ancillas.shape:
+            raise ValueError("data_qubits and ancillas must have the same length")

@@ -1,0 +1,31 @@
+"""Random number generation helpers.
+
+All stochastic components of the reproduction accept either an integer seed or
+an existing :class:`numpy.random.Generator`; :func:`make_rng` normalises both
+forms so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a numpy random generator from a seed, generator, or ``None``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list:
+    """Derive ``count`` independent generators from a base seed.
+
+    Used to give each Monte-Carlo shot (or each worker in a sweep) its own
+    stream so results do not depend on execution order.
+    """
+    base = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    return [np.random.default_rng(s) for s in base.spawn(count)]

@@ -1,0 +1,116 @@
+"""Tests for the analytic models (Equations 1-3, Table 2, Table 4 baseline)."""
+
+import pytest
+
+from repro.analysis.analytic import (
+    expected_lrcs_per_round_always,
+    invisible_leakage_probability,
+    invisible_leakage_table,
+    leakage_onto_data_without_lrc,
+    leakage_onto_parity_with_lrc,
+    paper_table2,
+    transport_amplification_factor,
+)
+from repro.analysis.tables import format_table, series_table
+
+
+class TestEquation1:
+    def test_value_is_about_ten_percent(self):
+        """The paper estimates P(L_data | L_parity) to be about 10%."""
+        value = leakage_onto_data_without_lrc()
+        assert 0.09 < value < 0.11
+
+    def test_transport_dominates(self):
+        value = leakage_onto_data_without_lrc()
+        assert value > 0.1  # p_transport alone is 0.1
+
+    def test_zero_rates_give_zero(self):
+        assert leakage_onto_data_without_lrc(p_leak=0.0, p_transport=0.0) == 0.0
+
+    def test_monotone_in_transport(self):
+        low = leakage_onto_data_without_lrc(p_transport=0.05)
+        high = leakage_onto_data_without_lrc(p_transport=0.2)
+        assert high > low
+
+
+class TestEquation2:
+    def test_value_is_about_34_percent(self):
+        """The paper estimates P(L_parity | L_data) to be about 34%."""
+        value = leakage_onto_parity_with_lrc()
+        assert 0.32 < value < 0.36
+
+    def test_lrc_roughly_triples_transport_risk(self):
+        """Equation (2) is about 3x Equation (1) (Section 3.1.3)."""
+        factor = transport_amplification_factor()
+        assert 2.5 < factor < 4.0
+
+    def test_more_transport_cnots_increase_risk(self):
+        fewer = leakage_onto_parity_with_lrc(num_transport_cnots=2)
+        more = leakage_onto_parity_with_lrc(num_transport_cnots=6)
+        assert more > fewer
+
+
+class TestEquation3AndTable2:
+    def test_probabilities_match_paper_table2(self):
+        published = paper_table2()
+        for rounds, expected_percent in published.items():
+            computed = 100.0 * invisible_leakage_probability(rounds)
+            assert computed == pytest.approx(expected_percent, abs=0.05)
+
+    def test_probability_decays_geometrically(self):
+        ratio = invisible_leakage_probability(2) / invisible_leakage_probability(1)
+        assert ratio == pytest.approx(1.0 / 16.0)
+
+    def test_distribution_sums_to_one(self):
+        total = sum(invisible_leakage_probability(r) for r in range(60))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_most_leakage_visible_within_two_rounds(self):
+        """More than 99% of leakage affects syndrome extraction within two rounds."""
+        cumulative = sum(invisible_leakage_probability(r) for r in range(2))
+        assert cumulative > 0.99
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            invisible_leakage_probability(-1)
+
+    def test_table_helper(self):
+        table = invisible_leakage_table(max_rounds=3)
+        assert len(table) == 4
+        assert table[0][0] == 0
+        assert table[0][1] == pytest.approx(93.75, abs=0.01)
+
+    def test_fewer_neighbors_stay_invisible_longer(self):
+        corner = invisible_leakage_probability(1, num_neighbors=2)
+        bulk = invisible_leakage_probability(1, num_neighbors=4)
+        assert corner > bulk
+
+
+class TestAlwaysLrcCount:
+    @pytest.mark.parametrize(
+        "distance,paper_value",
+        [(3, 4.2), (5, 12.0), (7, 24.0), (9, 40.0), (11, 60.0)],
+    )
+    def test_matches_table4_baseline(self, distance, paper_value):
+        assert expected_lrcs_per_round_always(distance) == pytest.approx(paper_value, rel=0.12)
+
+    def test_rejects_even_distance(self):
+        with pytest.raises(ValueError):
+            expected_lrcs_per_round_always(4)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1
+
+    def test_format_table_floats(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_series_table(self):
+        text = series_table({"a": {1: 0.5, 2: 0.25}, "b": {1: 0.1}}, x_label="d")
+        assert "d" in text.splitlines()[0]
+        assert "nan" in text  # missing entry for b at x=2

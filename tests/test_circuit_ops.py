@@ -1,0 +1,98 @@
+"""Tests for the circuit IR operation containers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.circuit import (
+    Cnot,
+    Hadamard,
+    LeakISwap,
+    LrcFinalize,
+    Measure,
+    MeasureReset,
+    Reset,
+    RoundNoise,
+)
+
+
+class TestIndexValidation:
+    def test_round_noise_accepts_list(self):
+        op = RoundNoise([0, 1, 2])
+        assert op.qubits.dtype == np.int64
+        assert list(op.qubits) == [0, 1, 2]
+
+    def test_round_noise_rejects_2d(self):
+        with pytest.raises(ValueError):
+            RoundNoise([[0, 1], [2, 3]])
+
+    def test_hadamard_accepts_numpy_array(self):
+        op = Hadamard(np.array([3, 4]))
+        assert list(op.qubits) == [3, 4]
+
+    def test_reset_empty(self):
+        op = Reset([])
+        assert op.qubits.size == 0
+
+
+class TestCnot:
+    def test_valid_pairs(self):
+        op = Cnot([0, 1], [2, 3])
+        assert list(op.controls) == [0, 1]
+        assert list(op.targets) == [2, 3]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Cnot([0, 1], [2])
+
+    def test_rejects_overlapping_pairs(self):
+        with pytest.raises(ValueError):
+            Cnot([0, 1], [1, 2])
+
+    def test_rejects_repeated_control(self):
+        with pytest.raises(ValueError):
+            Cnot([0, 0], [1, 2])
+
+    def test_empty_layer_is_allowed(self):
+        op = Cnot([], [])
+        assert op.controls.size == 0
+
+
+class TestMeasurementOps:
+    def test_measure_key_and_meta(self):
+        op = Measure([5, 6], key="syndrome", meta=(1, 2))
+        assert op.key == "syndrome"
+        assert op.meta == (1, 2)
+
+    def test_measure_meta_defaults_empty(self):
+        op = Measure([0], key="k")
+        assert op.meta == ()
+
+    def test_measure_reset_fields(self):
+        op = MeasureReset([7], key="mr", meta=(3,))
+        assert op.key == "mr"
+        assert list(op.qubits) == [7]
+
+
+class TestLrcFinalize:
+    def test_valid(self):
+        op = LrcFinalize([0, 1], [9, 10], key="lrc", meta=(0, 1))
+        assert not op.adaptive_multilevel
+        assert list(op.ancillas) == [9, 10]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LrcFinalize([0, 1], [9], key="lrc")
+
+    def test_adaptive_flag(self):
+        op = LrcFinalize([0], [9], key="lrc", adaptive_multilevel=True)
+        assert op.adaptive_multilevel
+
+
+class TestLeakISwap:
+    def test_valid(self):
+        op = LeakISwap([0, 1], [9, 10])
+        assert list(op.data_qubits) == [0, 1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LeakISwap([0], [9, 10])

@@ -1,0 +1,115 @@
+"""Tests for the eraser-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_ler_defaults(self):
+        args = build_parser().parse_args(["ler"])
+        assert args.distances == [3, 5]
+        assert args.shots == 100
+
+    def test_rtl_arguments(self):
+        args = build_parser().parse_args(["rtl", "--distance", "5", "--multilevel"])
+        assert args.distance == 5
+        assert args.multilevel is True
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "93.75" in out
+        assert "P(L_parity | L_data)" in out
+
+    def test_fpga(self, capsys):
+        assert main(["fpga", "--distances", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "LUT %" in out
+        assert "latency" in out
+
+    def test_rtl_to_stdout(self, capsys):
+        assert main(["rtl", "--distance", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "module eraser_d3" in out
+
+    def test_rtl_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.sv"
+        assert main(["rtl", "--distance", "3", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_speculation_command(self, capsys):
+        code = main(
+            [
+                "speculation",
+                "--distance",
+                "3",
+                "--cycles",
+                "1",
+                "--shots",
+                "2",
+                "--policies",
+                "eraser",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy %" in out
+        assert "eraser" in out
+
+    def test_ler_command_small(self, capsys):
+        code = main(
+            [
+                "ler",
+                "--distances",
+                "3",
+                "--cycles",
+                "1",
+                "--shots",
+                "2",
+                "--policies",
+                "no-lrc",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no-lrc" in out
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out
+        assert "table3" in out
+        assert "benchmark" in out
+
+    def test_lpr_command_small(self, capsys):
+        code = main(
+            [
+                "lpr",
+                "--distance",
+                "3",
+                "--cycles",
+                "1",
+                "--shots",
+                "2",
+                "--policies",
+                "no-lrc",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "round" in out

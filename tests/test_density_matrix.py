@@ -1,0 +1,140 @@
+"""Tests for the multi-ququart density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.densitymatrix.dm import DensityMatrix
+from repro.densitymatrix.ququart import (
+    LEVELS,
+    cnot_with_leakage,
+    leakage_injection_unitary,
+    rx_computational,
+    x_computational,
+)
+
+
+class TestConstruction:
+    def test_default_all_zero(self):
+        state = DensityMatrix(2)
+        assert state.trace() == pytest.approx(1.0)
+        assert state.measure_probability(0, 0) == pytest.approx(1.0)
+        assert state.measure_probability(1, 0) == pytest.approx(1.0)
+
+    def test_custom_initial_levels(self):
+        state = DensityMatrix(3, initial_levels=[0, 2, 1])
+        assert state.leak_probability(1) == pytest.approx(1.0)
+        assert state.measure_probability(2, 1) == pytest.approx(1.0)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(1, initial_levels=[4])
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(2, initial_levels=[0])
+
+    def test_zero_qudits_rejected(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(0)
+
+
+class TestUnitaries:
+    def test_single_qudit_x(self):
+        state = DensityMatrix(2)
+        state.apply_unitary(x_computational(), [1])
+        assert state.measure_probability(1, 1) == pytest.approx(1.0)
+        assert state.measure_probability(0, 0) == pytest.approx(1.0)
+
+    def test_two_qudit_cnot(self):
+        state = DensityMatrix(2, initial_levels=[1, 0])
+        state.apply_unitary(cnot_with_leakage(), [0, 1])
+        assert state.measure_probability(1, 1) == pytest.approx(1.0)
+
+    def test_qudit_order_matters(self):
+        state = DensityMatrix(2, initial_levels=[1, 0])
+        # Control is qudit 1 (which is |0>), so nothing happens.
+        state.apply_unitary(cnot_with_leakage(), [1, 0])
+        assert state.measure_probability(0, 1) == pytest.approx(1.0)
+        assert state.measure_probability(1, 0) == pytest.approx(1.0)
+
+    def test_matches_explicit_kron_for_two_qudits(self):
+        """Tensor-contraction application must equal the dense kron formula."""
+        rng = np.random.default_rng(0)
+        state = DensityMatrix(2, initial_levels=[1, 0])
+        op = rx_computational(0.7)
+        state.apply_unitary(op, [1])
+        full = np.kron(np.eye(LEVELS), op)
+        reference = DensityMatrix(2, initial_levels=[1, 0]).rho
+        expected = full @ reference @ full.conj().T
+        assert np.allclose(state.rho, expected)
+
+    def test_trace_preserved_by_unitaries(self):
+        state = DensityMatrix(3)
+        state.apply_unitary(rx_computational(1.1), [0])
+        state.apply_unitary(cnot_with_leakage(), [0, 2])
+        assert state.trace() == pytest.approx(1.0)
+
+    def test_purity_preserved_by_unitaries(self):
+        state = DensityMatrix(2)
+        state.apply_unitary(rx_computational(0.4), [0])
+        assert state.purity() == pytest.approx(1.0)
+
+    def test_wrong_operator_shape_rejected(self):
+        state = DensityMatrix(2)
+        with pytest.raises(ValueError):
+            state.apply_unitary(np.eye(4), [0, 1])
+
+
+class TestChannels:
+    def test_probabilistic_unitary_mixes(self):
+        state = DensityMatrix(1)
+        state.apply_probabilistic_unitary(x_computational(), [0], 0.3)
+        assert state.measure_probability(0, 1) == pytest.approx(0.3)
+        assert state.trace() == pytest.approx(1.0)
+        assert state.purity() < 1.0
+
+    def test_probability_zero_is_noop(self):
+        state = DensityMatrix(1)
+        state.apply_probabilistic_unitary(x_computational(), [0], 0.0)
+        assert state.measure_probability(0, 0) == pytest.approx(1.0)
+
+    def test_probability_one_is_unitary(self):
+        state = DensityMatrix(1)
+        state.apply_probabilistic_unitary(x_computational(), [0], 1.0)
+        assert state.measure_probability(0, 1) == pytest.approx(1.0)
+        assert state.purity() == pytest.approx(1.0)
+
+    def test_kraus_channel_preserves_trace(self):
+        state = DensityMatrix(1, initial_levels=[1])
+        kraus = [
+            np.sqrt(0.6) * np.eye(LEVELS, dtype=complex),
+            np.sqrt(0.4) * leakage_injection_unitary(),
+        ]
+        state.apply_kraus(kraus, [0])
+        assert state.trace() == pytest.approx(1.0)
+        assert state.leak_probability(0) == pytest.approx(0.4)
+
+    def test_reset_returns_to_ground(self):
+        state = DensityMatrix(2, initial_levels=[2, 1])
+        state.reset(0)
+        assert state.leak_probability(0) == pytest.approx(0.0)
+        assert state.measure_probability(0, 0) == pytest.approx(1.0)
+        # Other qudit untouched.
+        assert state.measure_probability(1, 1) == pytest.approx(1.0)
+
+    def test_reset_preserves_trace(self):
+        state = DensityMatrix(1, initial_levels=[3])
+        state.reset(0)
+        assert state.trace() == pytest.approx(1.0)
+
+
+class TestObservables:
+    def test_populations_sum_to_one(self):
+        state = DensityMatrix(2, initial_levels=[1, 2])
+        for q in range(2):
+            assert state.populations(q).sum() == pytest.approx(1.0)
+
+    def test_leak_probability_counts_levels_two_and_three(self):
+        assert DensityMatrix(1, initial_levels=[2]).leak_probability(0) == pytest.approx(1.0)
+        assert DensityMatrix(1, initial_levels=[3]).leak_probability(0) == pytest.approx(1.0)
+        assert DensityMatrix(1, initial_levels=[1]).leak_probability(0) == pytest.approx(0.0)

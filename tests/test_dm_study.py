@@ -1,0 +1,97 @@
+"""Tests for the single-stabilizer density-matrix leakage study (Figures 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.densitymatrix.study import (
+    DATA_QUDITS,
+    PARITY_QUDIT,
+    SingleStabilizerLeakageStudy,
+    StabilizerStudyResult,
+)
+
+
+@pytest.fixture(scope="module")
+def default_result():
+    return SingleStabilizerLeakageStudy().run()
+
+
+class TestSetup:
+    def test_invalid_leaked_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            SingleStabilizerLeakageStudy(initially_leaked=4)
+
+    def test_result_dimensions(self, default_result):
+        leaks, correct = default_result.as_arrays()
+        assert leaks.shape[1] == 5
+        assert leaks.shape[0] == correct.shape[0] == default_result.num_steps
+        # initial + 4 stabilizer CNOTs + 3 SWAP CNOTs + reset + 2 swap-back + 4 CNOTs
+        assert default_result.num_steps == 15
+
+    def test_labels_describe_rounds(self, default_result):
+        assert default_result.labels[0] == "initial"
+        assert any("round1" in label for label in default_result.labels)
+        assert any("round2" in label for label in default_result.labels)
+
+
+class TestLeakageSpread:
+    def test_q0_starts_fully_leaked(self, default_result):
+        leaks, _ = default_result.as_arrays()
+        assert leaks[0, 0] == pytest.approx(1.0)
+        for q in (1, 2, 3, PARITY_QUDIT):
+            assert leaks[0, q] == pytest.approx(0.0)
+
+    def test_lrc_transports_leakage_to_parity_qubit(self, default_result):
+        """Point A of Figure 8: after the LRC the parity qubit has leaked appreciably."""
+        leaks, _ = default_result.as_arrays()
+        reset_step = default_result.labels.index("round1 LRC measure+reset (q0 side)")
+        assert leaks[reset_step, PARITY_QUDIT] > 0.1
+
+    def test_reset_removes_q0_leakage(self, default_result):
+        leaks, _ = default_result.as_arrays()
+        reset_step = default_result.labels.index("round1 LRC measure+reset (q0 side)")
+        assert leaks[reset_step, 0] < 0.05
+
+    def test_other_data_qubits_gain_leakage_in_round2(self, default_result):
+        """The leaked parity qubit spreads leakage to the other data qubits."""
+        leaks, _ = default_result.as_arrays()
+        final = leaks[-1]
+        assert max(final[q] for q in (1, 2, 3)) > 0.01
+
+    def test_measurement_probability_degrades(self, default_result):
+        """Point B/C of Figure 8: the stabilizer outcome becomes unreliable."""
+        _, correct = default_result.as_arrays()
+        assert correct[0] == pytest.approx(1.0)
+        assert correct.min() < 0.9
+
+    def test_trace_like_quantities_bounded(self, default_result):
+        leaks, correct = default_result.as_arrays()
+        assert np.all(leaks >= -1e-9) and np.all(leaks <= 1.0 + 1e-9)
+        assert np.all(correct >= -1e-9) and np.all(correct <= 1.0 + 1e-9)
+
+
+class TestParameterisation:
+    def test_without_transport_parity_stays_clean_before_injection(self):
+        study = SingleStabilizerLeakageStudy(p_transport=0.0, p_injection=0.0)
+        result = study.run()
+        leaks, _ = result.as_arrays()
+        assert leaks[:, PARITY_QUDIT].max() < 1e-9
+
+    def test_without_any_error_measurement_is_perfect(self):
+        study = SingleStabilizerLeakageStudy(
+            rx_angle=0.0, p_transport=0.0, p_injection=0.0
+        )
+        _, correct = study.run().as_arrays()
+        assert correct.min() == pytest.approx(1.0)
+
+    def test_different_initial_qubit(self):
+        study = SingleStabilizerLeakageStudy(initially_leaked=2, p_transport=0.0, p_injection=0.0)
+        leaks, _ = study.run().as_arrays()
+        assert leaks[0, 2] == pytest.approx(1.0)
+        assert leaks[0, 0] == pytest.approx(0.0)
+
+    def test_summary_renders(self):
+        study = SingleStabilizerLeakageStudy(p_transport=0.0, p_injection=0.0)
+        text = study.summary(study.run())
+        assert "round1" in text
+        assert len(text.splitlines()) == 16

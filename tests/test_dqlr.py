@@ -1,0 +1,87 @@
+"""Tests for the DQLR protocol support (Appendix A.2)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.dqlr.protocol import DqlrBaselinePolicy, dqlr_policy_names, run_dqlr_comparison
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RotatedSurfaceCode(3)
+
+
+def no_events(code):
+    return np.zeros(code.num_stabilizers, dtype=bool)
+
+
+class TestDqlrBaselinePolicy:
+    def test_covers_almost_all_data_qubits_every_round(self, code):
+        policy = DqlrBaselinePolicy()
+        policy.bind(code, rng=0)
+        initial = policy.initial_assignment()
+        assert len(initial) == code.num_data_qubits - 1
+
+    def test_assignments_use_unique_partners(self, code):
+        policy = DqlrBaselinePolicy()
+        policy.bind(code, rng=0)
+        for round_index in range(4):
+            decision = policy.decide(
+                round_index,
+                no_events(code),
+                no_events(code),
+                np.zeros(code.num_stabilizers, dtype=np.uint8),
+                np.zeros(code.num_data_qubits, dtype=bool),
+            )
+            assert len(set(decision.values())) == len(decision)
+
+    def test_leftover_qubit_served_on_alternate_rounds(self, code):
+        policy = DqlrBaselinePolicy()
+        policy.bind(code, rng=0)
+        covered = set(policy.initial_assignment())
+        decision = policy.decide(
+            0,
+            no_events(code),
+            no_events(code),
+            np.zeros(code.num_stabilizers, dtype=np.uint8),
+            np.zeros(code.num_data_qubits, dtype=bool),
+        )
+        covered |= set(decision)
+        assert covered == set(code.data_indices)
+
+    def test_assignments_are_adjacent(self, code):
+        policy = DqlrBaselinePolicy()
+        policy.bind(code, rng=0)
+        for data_qubit, stab in policy.initial_assignment().items():
+            assert stab in code.stabilizer_neighbors(data_qubit)
+
+    def test_name(self):
+        assert DqlrBaselinePolicy().name == "dqlr"
+
+
+class TestDqlrComparison:
+    def test_policy_names(self):
+        assert "dqlr" in dqlr_policy_names()
+        assert "eraser+m" in dqlr_policy_names()
+
+    def test_small_sweep_runs(self):
+        sweep = run_dqlr_comparison(
+            distances=[3], policies=["dqlr", "eraser"], cycles=1, shots=3, seed=0
+        )
+        assert len(sweep) == 2
+        for result in sweep:
+            assert result.metadata["protocol"] == "dqlr"
+            assert result.metadata["transport_model"] == "exchange"
+
+    def test_dqlr_baseline_reports_many_operations(self):
+        sweep = run_dqlr_comparison(
+            distances=[3], policies=["dqlr"], cycles=1, shots=3, decode=False, seed=1
+        )
+        result = sweep.results[0]
+        assert result.lrcs_per_round > code_expected_minimum()
+
+
+def code_expected_minimum():
+    """The DQLR baseline applies close to d*d operations per round for d=3."""
+    return 5.0

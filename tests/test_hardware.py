@@ -1,0 +1,125 @@
+"""Tests for the FPGA cost model and the SystemVerilog generator."""
+
+import re
+
+import pytest
+
+from repro.hardware.cost_model import (
+    KINTEX_ULTRASCALE_PLUS,
+    FpgaCostModel,
+    FpgaResources,
+)
+from repro.hardware.rtl_gen import generate_eraser_rtl, write_eraser_rtl
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return FpgaCostModel()
+
+    def test_device_capacities(self):
+        assert KINTEX_ULTRASCALE_PLUS.total_luts == 162_720
+        assert KINTEX_ULTRASCALE_PLUS.total_ffs == 325_440
+
+    @pytest.mark.parametrize("distance", [3, 5, 7, 9, 11])
+    def test_utilisation_below_one_percent(self, model, distance):
+        """Table 3: ERASER fits in well under 1% of the FPGA up to d=11."""
+        resources = model.estimate(distance)
+        assert resources.lut_percent < 1.0
+        assert resources.ff_percent < 1.0
+
+    @pytest.mark.parametrize("distance", [3, 5, 7, 9, 11])
+    def test_utilisation_matches_table3_magnitude(self, model, distance):
+        """The structural model tracks the published Table 3 within ~3x."""
+        published = FpgaCostModel.paper_table3()[distance]
+        resources = model.estimate(distance)
+        assert resources.lut_percent == pytest.approx(published["lut_percent"], rel=2.0)
+        assert resources.ff_percent == pytest.approx(published["ff_percent"], rel=2.0)
+
+    def test_resources_grow_with_distance(self, model):
+        table = model.table([3, 5, 7, 9, 11])
+        luts = [r.luts for r in table]
+        ffs = [r.flip_flops for r in table]
+        assert luts == sorted(luts)
+        assert ffs == sorted(ffs)
+        assert luts[-1] > 4 * luts[0]
+
+    def test_latency_close_to_five_nanoseconds(self, model):
+        for distance in (3, 7, 11):
+            latency = model.estimate(distance).latency_ns
+            assert 2.0 < latency < 8.0
+
+    def test_latency_independent_of_distance(self, model):
+        assert model.estimate(3).latency_ns == model.estimate(11).latency_ns
+
+    def test_multilevel_variant_costs_more(self):
+        base = FpgaCostModel(multilevel=False).estimate(7)
+        plus_m = FpgaCostModel(multilevel=True).estimate(7)
+        assert plus_m.luts > base.luts
+        assert plus_m.flip_flops > base.flip_flops
+
+    def test_to_row_keys(self, model):
+        row = model.estimate(5).to_row()
+        assert set(row) == {
+            "distance",
+            "luts",
+            "lut_percent",
+            "flip_flops",
+            "ff_percent",
+            "latency_ns",
+        }
+
+    def test_paper_table_has_all_distances(self):
+        assert set(FpgaCostModel.paper_table3()) == {3, 5, 7, 9, 11}
+
+
+class TestRtlGenerator:
+    @pytest.fixture(scope="class")
+    def rtl(self):
+        return generate_eraser_rtl(3)
+
+    def test_module_name(self, rtl):
+        assert "module eraser_d3 (" in rtl
+        assert rtl.rstrip().endswith("endmodule")
+
+    def test_port_widths(self, rtl):
+        assert "input  logic [7:0]  syndrome" in rtl
+        assert "output logic [8:0]  lrc_valid" in rtl
+
+    def test_one_speculation_comparator_per_data_qubit(self, rtl):
+        assert len(re.findall(r"wire speculate_q\d+", rtl)) == 9
+
+    def test_ltt_and_putt_registers_present(self, rtl):
+        assert "logic [8:0] ltt;" in rtl
+        assert "logic [7:0] putt;" in rtl
+
+    def test_begin_end_balanced(self, rtl):
+        begins = len(re.findall(r"\bbegin\b", rtl))
+        ends = len(re.findall(r"\bend\b(?!module)", rtl))
+        assert begins == ends
+
+    def test_sequential_block_present(self, rtl):
+        assert "always_ff @(posedge clk)" in rtl
+        assert "always_comb" in rtl
+
+    def test_multilevel_variant_adds_label_port(self):
+        rtl_m = generate_eraser_rtl(3, multilevel=True)
+        assert "module eraser_d3_m (" in rtl_m
+        assert "leaked_label" in rtl_m
+
+    def test_plain_variant_has_no_label_port(self, rtl):
+        assert "leaked_label" not in rtl
+
+    def test_scales_with_distance(self):
+        rtl_d5 = generate_eraser_rtl(5)
+        assert len(re.findall(r"wire speculate_q\d+", rtl_d5)) == 25
+        assert "input  logic [23:0]  syndrome" in rtl_d5
+
+    def test_line_count_grows_with_distance(self):
+        assert len(generate_eraser_rtl(5).splitlines()) > len(generate_eraser_rtl(3).splitlines())
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "eraser_d3.sv"
+        written = write_eraser_rtl(str(path), 3)
+        assert written == str(path)
+        assert path.read_text().startswith("// Auto-generated")

@@ -1,0 +1,165 @@
+"""Cross-module integration tests reproducing the paper's qualitative claims.
+
+These tests run small but statistically meaningful Monte-Carlo experiments
+(boosted leakage rates, fixed seeds) and check the *orderings* the paper
+reports rather than absolute numbers:
+
+* leakage degrades the logical error rate (Figure 2(c)),
+* ERASER keeps the leakage population lower than Always-LRCs (Figure 15),
+* ERASER schedules far fewer LRCs than Always-LRCs (Table 4),
+* ERASER's speculation accuracy is far higher than Always-LRCs' (Figure 16),
+* the Optimal oracle bounds everything from below.
+"""
+
+import pytest
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.policies import make_policy
+from repro.experiments.memory import MemoryExperiment
+from repro.noise.leakage import LeakageModel, LeakageTransportModel
+from repro.noise.model import NoiseParams
+
+#: Boosted leakage model so that small shot counts still see many leakage events.
+BOOSTED = LeakageModel(
+    p_leak_round=5e-3,
+    p_leak_gate=5e-4,
+    p_transport=0.1,
+    p_seepage=1e-4,
+)
+
+
+def run(policy, code, shots=60, cycles=6, leakage=BOOSTED, noise=None, decode=False, seed=99):
+    experiment = MemoryExperiment(
+        code=code,
+        policy=make_policy(policy),
+        noise=noise if noise is not None else NoiseParams.standard(1e-3),
+        leakage=leakage,
+        cycles=cycles,
+        decode=decode,
+        seed=seed,
+    )
+    return experiment.run(shots)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RotatedSurfaceCode(3)
+
+
+@pytest.fixture(scope="module")
+def results(code):
+    """Shared policy comparison under boosted leakage (LPR-only, fast)."""
+    return {
+        policy: run(policy, code)
+        for policy in ("no-lrc", "always-lrc", "eraser", "eraser+m", "optimal")
+    }
+
+
+class TestLeakagePopulationOrdering:
+    def test_no_lrc_has_highest_leakage(self, results):
+        worst = results["no-lrc"].mean_lpr
+        for policy in ("always-lrc", "eraser", "eraser+m", "optimal"):
+            assert results[policy].mean_lpr < worst
+
+    def test_adaptive_policies_beat_always_lrc(self, results):
+        """Figure 15: ERASER and ERASER+M maintain a lower LPR than Always-LRCs."""
+        always = results["always-lrc"].mean_lpr
+        assert results["eraser"].mean_lpr < always
+        assert results["eraser+m"].mean_lpr < always
+
+    def test_optimal_is_the_lower_bound(self, results):
+        optimal = results["optimal"].mean_lpr
+        for policy in ("no-lrc", "always-lrc", "eraser"):
+            assert optimal <= results[policy].mean_lpr * 1.05
+
+    def test_no_lrc_leakage_grows_over_time(self, results):
+        lpr = results["no-lrc"].lpr_data
+        assert lpr[-1] > lpr[len(lpr) // 4]
+
+    def test_eraser_m_tracks_or_beats_eraser(self, results):
+        assert results["eraser+m"].mean_lpr <= results["eraser"].mean_lpr * 1.3
+
+
+class TestLrcBudget:
+    def test_eraser_schedules_far_fewer_lrcs_than_always(self, results):
+        """Table 4: ERASER uses an order of magnitude fewer LRCs per round."""
+        assert results["always-lrc"].lrcs_per_round > 3.5
+        assert results["eraser"].lrcs_per_round < results["always-lrc"].lrcs_per_round / 3.0
+
+    def test_optimal_schedules_fewest(self, results):
+        assert results["optimal"].lrcs_per_round <= results["eraser"].lrcs_per_round
+
+    def test_no_lrc_schedules_none(self, results):
+        assert results["no-lrc"].lrcs_per_round == 0.0
+
+
+class TestSpeculationQuality:
+    def test_eraser_accuracy_far_above_always(self, results):
+        """Figure 16: ERASER ~97% accuracy vs ~50% for Always-LRCs."""
+        assert results["always-lrc"].speculation.accuracy < 0.7
+        assert results["eraser"].speculation.accuracy > 0.9
+
+    def test_eraser_false_positive_rate_is_low(self, results):
+        assert results["eraser"].speculation.false_positive_rate < 0.1
+        assert results["always-lrc"].speculation.false_positive_rate > 0.4
+
+    def test_optimal_has_near_perfect_accuracy(self, results):
+        assert results["optimal"].speculation.accuracy > 0.98
+
+    def test_eraser_m_false_negative_rate_not_worse(self, results):
+        fnr_eraser = results["eraser"].speculation.false_negative_rate
+        fnr_eraser_m = results["eraser+m"].speculation.false_negative_rate
+        assert fnr_eraser_m <= fnr_eraser + 0.05
+
+
+class TestLogicalErrorImpact:
+    def test_leakage_increases_logical_error_rate(self, code):
+        """Figure 2(c): leakage sharply degrades the LER."""
+        noise = NoiseParams.standard(2e-3)
+        without = MemoryExperiment(
+            code=code,
+            policy=make_policy("no-lrc"),
+            noise=noise,
+            leakage=LeakageModel.disabled(),
+            cycles=5,
+            seed=21,
+        ).run(120)
+        with_leak = MemoryExperiment(
+            code=code,
+            policy=make_policy("no-lrc"),
+            noise=noise,
+            leakage=LeakageModel(5e-3, 5e-4, 0.1, 1e-4),
+            cycles=5,
+            seed=21,
+        ).run(120)
+        assert with_leak.logical_error_rate > without.logical_error_rate
+
+    def test_alternative_transport_model_reduces_leakage(self, code):
+        """Appendix A.1: the exchange model keeps the leakage population lower."""
+        remain = run(
+            "always-lrc",
+            code,
+            leakage=BOOSTED,
+            seed=33,
+        )
+        exchange = run(
+            "always-lrc",
+            code,
+            leakage=BOOSTED.with_overrides(
+                transport_model=LeakageTransportModel.EXCHANGE
+            ),
+            seed=33,
+        )
+        assert exchange.mean_lpr <= remain.mean_lpr * 1.05
+
+
+class TestEndToEndDecoding:
+    def test_full_stack_produces_finite_ler(self, code):
+        result = run("eraser", code, shots=30, cycles=3, decode=True, seed=5)
+        assert 0.0 <= result.logical_error_rate <= 1.0
+
+    def test_all_policies_run_with_decoding(self, code):
+        for policy in ("no-lrc", "always-lrc", "eraser", "eraser+m", "optimal"):
+            result = run(policy, code, shots=10, cycles=2, decode=True, seed=8)
+            assert result.shots == 10
+            assert result.logical_errors >= 0

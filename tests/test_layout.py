@@ -1,0 +1,79 @@
+"""Unit tests for the basic layout primitives."""
+
+import pytest
+
+from repro.codes.layout import (
+    DataQubit,
+    ParityQubit,
+    StabilizerType,
+    in_data_lattice,
+    plaquette_corners,
+)
+
+
+class TestStabilizerType:
+    def test_values(self):
+        assert StabilizerType.X.value == "X"
+        assert StabilizerType.Z.value == "Z"
+
+    def test_str(self):
+        assert str(StabilizerType.X) == "X"
+        assert str(StabilizerType.Z) == "Z"
+
+    def test_identity_comparison(self):
+        assert StabilizerType("X") is StabilizerType.X
+        assert StabilizerType("Z") is StabilizerType.Z
+
+
+class TestDataQubit:
+    def test_coord(self):
+        qubit = DataQubit(index=5, row=1, col=2)
+        assert qubit.coord == (1, 2)
+
+    def test_frozen(self):
+        qubit = DataQubit(index=0, row=0, col=0)
+        with pytest.raises(Exception):
+            qubit.row = 3
+
+    def test_equality(self):
+        assert DataQubit(1, 0, 1) == DataQubit(1, 0, 1)
+        assert DataQubit(1, 0, 1) != DataQubit(2, 0, 1)
+
+
+class TestParityQubit:
+    def test_coord(self):
+        qubit = ParityQubit(index=9, stabilizer_index=0, row=1, col=1)
+        assert qubit.coord == (1, 1)
+
+    def test_fields(self):
+        qubit = ParityQubit(index=12, stabilizer_index=3, row=2, col=0)
+        assert qubit.index == 12
+        assert qubit.stabilizer_index == 3
+
+
+class TestPlaquetteCorners:
+    def test_order_is_nw_ne_sw_se(self):
+        corners = plaquette_corners(2, 3)
+        assert corners == ((1, 2), (1, 3), (2, 2), (2, 3))
+
+    def test_origin_plaquette(self):
+        corners = plaquette_corners(0, 0)
+        assert corners == ((-1, -1), (-1, 0), (0, -1), (0, 0))
+
+    def test_four_distinct_corners(self):
+        corners = plaquette_corners(4, 7)
+        assert len(set(corners)) == 4
+
+
+class TestInDataLattice:
+    @pytest.mark.parametrize("coord", [(0, 0), (2, 2), (0, 2), (2, 0), (1, 1)])
+    def test_inside(self, coord):
+        assert in_data_lattice(coord, 3)
+
+    @pytest.mark.parametrize("coord", [(-1, 0), (0, -1), (3, 0), (0, 3), (3, 3), (-1, -1)])
+    def test_outside(self, coord):
+        assert not in_data_lattice(coord, 3)
+
+    def test_distance_dependence(self):
+        assert in_data_lattice((4, 4), 5)
+        assert not in_data_lattice((4, 4), 3)

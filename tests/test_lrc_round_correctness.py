@@ -1,0 +1,147 @@
+"""End-to-end correctness of rounds that contain LRC circuitry.
+
+The SWAP LRC reroutes the parity-check measurement through the data-side
+physical qubit and parks the data state on the ancilla.  These tests verify
+that, in the absence of noise, a round with LRCs still (1) reports the same
+syndrome a plain round would report for an injected data error, and (2) leaves
+the logical observable intact, i.e. the extra circuitry is transparent to the
+error-correction machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.dli import SwapLookupTable
+from repro.core.qsg import KEY_FINAL_DATA, QecScheduleGenerator
+from repro.decoder.decoder import SurfaceCodeDecoder
+from repro.noise.leakage import LeakageModel
+from repro.noise.model import NoiseParams
+from repro.sim.frame_simulator import LeakageFrameSimulator
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RotatedSurfaceCode(3)
+
+
+@pytest.fixture(scope="module")
+def qsg(code):
+    return QecScheduleGenerator(code)
+
+
+def run_rounds(code, qsg, num_rounds, assignments, inject=None):
+    """Run noiseless rounds, optionally injecting an X error before a round."""
+    sim = LeakageFrameSimulator(
+        code.num_qubits, NoiseParams.noiseless(), LeakageModel.disabled(), rng=0
+    )
+    history = np.zeros((num_rounds, code.num_stabilizers), dtype=np.uint8)
+    for round_index in range(num_rounds):
+        if inject is not None and inject[0] == round_index:
+            sim.x[inject[1]] ^= True
+        ops, layout = qsg.build_round(assignments.get(round_index, {}))
+        records = sim.run(ops)
+        bits, _, _ = qsg.assemble_syndrome(records, layout)
+        history[round_index] = bits
+    final = sim.run(qsg.build_final_data_measurement())[KEY_FINAL_DATA].bits
+    return history, final
+
+
+class TestLrcRoundSyndromeEquivalence:
+    def test_injected_error_detected_identically_with_and_without_lrc(self, code, qsg):
+        """An X error is flagged by the same checks whether or not its
+        stabilizer is measured through an LRC that round."""
+        table = SwapLookupTable(code, num_backups=None)
+        data_qubit = code.data_qubit_index(1, 1)
+        for target_stab in code.z_stabilizer_neighbors(data_qubit):
+            plain_history, _ = run_rounds(code, qsg, 2, {}, inject=(1, data_qubit))
+            lrc_partner_data = next(
+                q for q in code.stabilizers[target_stab].data_qubits if q != data_qubit
+            )
+            lrc_history, _ = run_rounds(
+                code,
+                qsg,
+                2,
+                {1: {lrc_partner_data: target_stab}},
+                inject=(1, data_qubit),
+            )
+            assert np.array_equal(plain_history, lrc_history)
+
+    def test_lrc_on_the_errored_qubit_still_detects(self, code, qsg):
+        """Even when the errored data qubit itself is the one being swapped,
+        its error remains visible to its neighbouring checks."""
+        data_qubit = code.data_qubit_index(1, 1)
+        stab = code.stabilizer_neighbors(data_qubit)[0]
+        plain_history, _ = run_rounds(code, qsg, 2, {}, inject=(1, data_qubit))
+        lrc_history, _ = run_rounds(
+            code, qsg, 2, {1: {data_qubit: stab}}, inject=(1, data_qubit)
+        )
+        assert np.array_equal(plain_history, lrc_history)
+
+    def test_lrc_rounds_preserve_logical_observable(self, code, qsg):
+        """Running many all-LRC rounds noiselessly never flips the observable."""
+        table = SwapLookupTable(code, num_backups=None)
+        full = table.primary_assignment()
+        assignments = {r: (full if r % 2 == 1 else {}) for r in range(6)}
+        history, final = run_rounds(code, qsg, 6, assignments)
+        decoder = SurfaceCodeDecoder(code, num_rounds=6, method="mwpm")
+        assert not history.any()
+        assert decoder.decode_shot(history, final) is False
+
+    def test_error_before_lrc_round_is_corrected_end_to_end(self, code, qsg):
+        table = SwapLookupTable(code, num_backups=None)
+        full = table.primary_assignment()
+        assignments = {1: full, 3: full}
+        decoder = SurfaceCodeDecoder(code, num_rounds=4, method="mwpm")
+        for data_qubit in code.data_indices:
+            history, final = run_rounds(
+                code, qsg, 4, assignments, inject=(1, data_qubit)
+            )
+            assert decoder.decode_shot(history, final) is False
+
+
+class TestSpeculationThresholdOverride:
+    def test_override_changes_trigger_level(self, code):
+        from repro.core.lsb import LeakageSpeculationBlock
+
+        strict = LeakageSpeculationBlock(code, threshold_override=4)
+        loose = LeakageSpeculationBlock(code, threshold_override=1)
+        target = code.data_qubit_index(1, 1)
+        events = np.zeros(code.num_stabilizers, dtype=bool)
+        events[code.stabilizer_neighbors(target)[0]] = True
+        assert target in loose.observe_round(events, previous_lrc_data_qubits=[])
+        strict_candidates = strict.observe_round(events, previous_lrc_data_qubits=[])
+        assert target not in strict_candidates
+
+    def test_override_clamped_to_neighbor_count(self, code):
+        from repro.core.lsb import LeakageSpeculationBlock
+
+        lsb = LeakageSpeculationBlock(code, threshold_override=10)
+        corner = next(q for q in code.data_indices if len(code.stabilizer_neighbors(q)) == 2)
+        events = np.zeros(code.num_stabilizers, dtype=bool)
+        for stab in code.stabilizer_neighbors(corner):
+            events[stab] = True
+        assert corner in lsb.observe_round(events, previous_lrc_data_qubits=[])
+
+    def test_invalid_override_rejected(self, code):
+        from repro.core.lsb import LeakageSpeculationBlock
+
+        with pytest.raises(ValueError):
+            LeakageSpeculationBlock(code, threshold_override=0)
+
+    def test_eraser_policy_accepts_override(self, code):
+        from repro.core.policies.eraser import EraserPolicy
+
+        policy = EraserPolicy(speculation_threshold_override=1)
+        policy.bind(code, rng=0)
+        target = code.data_qubit_index(1, 1)
+        events = np.zeros(code.num_stabilizers, dtype=bool)
+        events[code.stabilizer_neighbors(target)[0]] = True
+        decision = policy.decide(
+            0,
+            events,
+            events.astype(np.uint8),
+            np.zeros(code.num_stabilizers, dtype=np.uint8),
+            None,
+        )
+        assert len(decision) >= 1

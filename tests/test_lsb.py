@@ -1,0 +1,203 @@
+"""Tests for the Leakage Speculation Block, LTT, and PUTT."""
+
+import numpy as np
+import pytest
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.lsb import (
+    LeakageSpeculationBlock,
+    LeakageTrackingTable,
+    ParityUsageTrackingTable,
+    speculation_threshold,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RotatedSurfaceCode(3)
+
+
+class TestSpeculationThreshold:
+    def test_four_neighbors(self):
+        assert speculation_threshold(4) == 2
+
+    def test_three_neighbors(self):
+        assert speculation_threshold(3) == 2
+
+    def test_two_neighbors(self):
+        assert speculation_threshold(2) == 1
+
+    def test_one_neighbor(self):
+        assert speculation_threshold(1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speculation_threshold(0)
+
+
+class TestLeakageTrackingTable:
+    def test_starts_empty(self):
+        ltt = LeakageTrackingTable(9)
+        assert len(ltt) == 0
+        assert ltt.marked_qubits() == []
+
+    def test_mark_and_clear(self):
+        ltt = LeakageTrackingTable(9)
+        ltt.mark(3)
+        ltt.mark(5)
+        assert ltt.is_marked(3)
+        assert sorted(ltt.marked_qubits()) == [3, 5]
+        ltt.clear(3)
+        assert not ltt.is_marked(3)
+        assert len(ltt) == 1
+
+    def test_clear_all(self):
+        ltt = LeakageTrackingTable(4)
+        for q in range(4):
+            ltt.mark(q)
+        ltt.clear_all()
+        assert len(ltt) == 0
+
+    def test_double_mark_idempotent(self):
+        ltt = LeakageTrackingTable(4)
+        ltt.mark(1)
+        ltt.mark(1)
+        assert len(ltt) == 1
+
+
+class TestParityUsageTrackingTable:
+    def test_starts_empty(self):
+        putt = ParityUsageTrackingTable(8)
+        assert putt.used_stabilizers() == []
+
+    def test_record_round_replaces_contents(self):
+        putt = ParityUsageTrackingTable(8)
+        putt.record_round([1, 2])
+        assert putt.is_used(1) and putt.is_used(2)
+        putt.record_round([5])
+        assert not putt.is_used(1)
+        assert putt.used_stabilizers() == [5]
+
+    def test_clear(self):
+        putt = ParityUsageTrackingTable(8)
+        putt.record_round([0, 7])
+        putt.clear()
+        assert putt.used_stabilizers() == []
+
+
+class TestLeakageSpeculationBlock:
+    def _events(self, code, flipped):
+        events = np.zeros(code.num_stabilizers, dtype=bool)
+        for stab in flipped:
+            events[stab] = True
+        return events
+
+    def test_no_events_no_candidates(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        candidates = lsb.observe_round(self._events(code, []), previous_lrc_data_qubits=[])
+        assert candidates == []
+
+    def test_majority_flip_marks_qubit(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        target = next(
+            q for q in code.data_indices if len(code.stabilizer_neighbors(q)) == 4
+        )
+        neighbors = code.stabilizer_neighbors(target)
+        candidates = lsb.observe_round(
+            self._events(code, neighbors[:2]), previous_lrc_data_qubits=[]
+        )
+        assert target in candidates
+
+    def test_single_flip_does_not_mark_bulk_qubit(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        target = next(
+            q for q in code.data_indices if len(code.stabilizer_neighbors(q)) == 4
+        )
+        neighbors = code.stabilizer_neighbors(target)
+        lsb.observe_round(self._events(code, neighbors[:1]), previous_lrc_data_qubits=[])
+        assert not lsb.ltt.is_marked(target)
+
+    def test_corner_qubit_marked_by_single_flip(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        corner = next(
+            q for q in code.data_indices if len(code.stabilizer_neighbors(q)) == 2
+        )
+        neighbors = code.stabilizer_neighbors(corner)
+        candidates = lsb.observe_round(
+            self._events(code, neighbors[:1]), previous_lrc_data_qubits=[]
+        )
+        assert corner in candidates
+
+    def test_previous_lrc_suppresses_speculation(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        target = next(
+            q for q in code.data_indices if len(code.stabilizer_neighbors(q)) == 4
+        )
+        neighbors = code.stabilizer_neighbors(target)
+        candidates = lsb.observe_round(
+            self._events(code, neighbors), previous_lrc_data_qubits=[target]
+        )
+        assert target not in candidates
+
+    def test_previous_lrc_clears_stale_ltt_entry(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        lsb.ltt.mark(0)
+        lsb.observe_round(self._events(code, []), previous_lrc_data_qubits=[0])
+        assert not lsb.ltt.is_marked(0)
+
+    def test_unassigned_candidates_persist(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        corner = next(
+            q for q in code.data_indices if len(code.stabilizer_neighbors(q)) == 2
+        )
+        neighbors = code.stabilizer_neighbors(corner)
+        lsb.observe_round(self._events(code, neighbors), previous_lrc_data_qubits=[])
+        # No assignment committed: the qubit should still be marked next round.
+        candidates = lsb.observe_round(self._events(code, []), previous_lrc_data_qubits=[])
+        assert corner in candidates
+
+    def test_commit_assignment_clears_ltt_and_sets_putt(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        lsb.ltt.mark(4)
+        lsb.commit_assignment({4: code.stabilizer_neighbors(4)[0]})
+        assert not lsb.ltt.is_marked(4)
+        assert lsb.blocked_stabilizers() == [code.stabilizer_neighbors(4)[0]]
+
+    def test_multilevel_readout_marks_neighbors(self, code):
+        lsb = LeakageSpeculationBlock(code, use_multilevel_readout=True)
+        stab = code.stabilizers[0]
+        labels = np.zeros(code.num_stabilizers, dtype=np.uint8)
+        labels[stab.index] = 2
+        candidates = lsb.observe_round(
+            self._events(code, []), previous_lrc_data_qubits=[], readout_labels=labels
+        )
+        assert set(stab.data_qubits).issubset(set(candidates))
+
+    def test_multilevel_disabled_ignores_labels(self, code):
+        lsb = LeakageSpeculationBlock(code, use_multilevel_readout=False)
+        labels = np.full(code.num_stabilizers, 2, dtype=np.uint8)
+        candidates = lsb.observe_round(
+            self._events(code, []), previous_lrc_data_qubits=[], readout_labels=labels
+        )
+        assert candidates == []
+
+    def test_multilevel_respects_previous_lrc(self, code):
+        lsb = LeakageSpeculationBlock(code, use_multilevel_readout=True)
+        stab = code.stabilizers[0]
+        labels = np.zeros(code.num_stabilizers, dtype=np.uint8)
+        labels[stab.index] = 2
+        shielded = stab.data_qubits[0]
+        candidates = lsb.observe_round(
+            self._events(code, []),
+            previous_lrc_data_qubits=[shielded],
+            readout_labels=labels,
+        )
+        assert shielded not in candidates
+
+    def test_reset_clears_everything(self, code):
+        lsb = LeakageSpeculationBlock(code)
+        lsb.ltt.mark(1)
+        lsb.putt.record_round([2])
+        lsb.reset()
+        assert lsb.ltt.marked_qubits() == []
+        assert lsb.blocked_stabilizers() == []

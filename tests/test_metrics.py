@@ -1,0 +1,101 @@
+"""Tests for metrics containers and statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.metrics import (
+    SpeculationCounts,
+    binomial_stderr,
+    improvement_factor,
+    wilson_interval,
+)
+
+
+class TestSpeculationCounts:
+    def test_starts_at_zero(self):
+        counts = SpeculationCounts()
+        assert counts.total == 0
+        assert math.isnan(counts.accuracy)
+
+    def test_update(self):
+        counts = SpeculationCounts()
+        counts.update(1, 2, 3, 4)
+        assert counts.true_positive == 1
+        assert counts.false_positive == 2
+        assert counts.true_negative == 3
+        assert counts.false_negative == 4
+        assert counts.total == 10
+
+    def test_accuracy(self):
+        counts = SpeculationCounts(true_positive=5, false_positive=0, true_negative=5, false_negative=0)
+        assert counts.accuracy == 1.0
+        counts = SpeculationCounts(2, 2, 2, 2)
+        assert counts.accuracy == 0.5
+
+    def test_false_positive_rate(self):
+        counts = SpeculationCounts(true_positive=0, false_positive=1, true_negative=3, false_negative=0)
+        assert counts.false_positive_rate == pytest.approx(0.25)
+
+    def test_false_negative_rate(self):
+        counts = SpeculationCounts(true_positive=3, false_positive=0, true_negative=0, false_negative=1)
+        assert counts.false_negative_rate == pytest.approx(0.25)
+        assert counts.true_positive_rate == pytest.approx(0.75)
+
+    def test_rates_nan_when_undefined(self):
+        counts = SpeculationCounts(true_positive=0, false_positive=0, true_negative=5, false_negative=0)
+        assert math.isnan(counts.false_negative_rate)
+        counts = SpeculationCounts(true_positive=5, false_positive=0, true_negative=0, false_negative=0)
+        assert math.isnan(counts.false_positive_rate)
+
+    def test_merge(self):
+        a = SpeculationCounts(1, 2, 3, 4)
+        b = SpeculationCounts(10, 20, 30, 40)
+        merged = a.merge(b)
+        assert merged.true_positive == 11
+        assert merged.false_positive == 22
+        assert merged.true_negative == 33
+        assert merged.false_negative == 44
+        # Merge does not mutate the inputs.
+        assert a.true_positive == 1 and b.true_positive == 10
+
+    def test_always_lrc_like_profile(self):
+        """Scheduling LRCs for ~half the (rarely leaked) qubits gives ~50% accuracy."""
+        counts = SpeculationCounts(true_positive=1, false_positive=500, true_negative=498, false_negative=1)
+        assert 0.45 < counts.accuracy < 0.55
+        assert counts.false_positive_rate > 0.45
+
+
+class TestStatistics:
+    def test_binomial_stderr_zero_trials(self):
+        assert math.isnan(binomial_stderr(0, 0))
+
+    def test_binomial_stderr_half(self):
+        assert binomial_stderr(50, 100) == pytest.approx(0.05)
+
+    def test_binomial_stderr_extremes(self):
+        assert binomial_stderr(0, 100) == 0.0
+        assert binomial_stderr(100, 100) == 0.0
+
+    def test_wilson_interval_contains_estimate(self):
+        low, high = wilson_interval(10, 100)
+        assert low < 0.1 < high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_interval_zero_successes(self):
+        low, high = wilson_interval(0, 100)
+        assert low == pytest.approx(0.0, abs=1e-9)
+        assert high > 0.0
+
+    def test_wilson_interval_no_trials(self):
+        low, high = wilson_interval(0, 0)
+        assert math.isnan(low) and math.isnan(high)
+
+    def test_wilson_narrows_with_more_trials(self):
+        low1, high1 = wilson_interval(10, 100)
+        low2, high2 = wilson_interval(100, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+    def test_improvement_factor(self):
+        assert improvement_factor(4e-2, 1e-2) == pytest.approx(4.0)
+        assert improvement_factor(1e-2, 0.0) == float("inf")

@@ -1,0 +1,103 @@
+"""Tests for the circuit-level noise parameters and leakage model."""
+
+import pytest
+
+from repro.noise.leakage import LeakageModel, LeakageTransportModel
+from repro.noise.model import NoiseParams
+
+
+class TestNoiseParams:
+    def test_standard_defaults(self):
+        params = NoiseParams.standard(1e-3)
+        assert params.p == pytest.approx(1e-3)
+        assert params.p_round_depolarize == pytest.approx(1e-3)
+        assert params.p_gate1 == pytest.approx(1e-3)
+        assert params.p_gate2 == pytest.approx(1e-3)
+        assert params.p_measure == pytest.approx(1e-3)
+        assert params.p_reset == pytest.approx(1e-3)
+
+    def test_multilevel_readout_is_ten_p(self):
+        params = NoiseParams.standard(1e-3)
+        assert params.p_multilevel_readout_error == pytest.approx(1e-2)
+
+    def test_multilevel_readout_capped_at_one(self):
+        params = NoiseParams.standard(0.5)
+        assert params.p_multilevel_readout_error == 1.0
+
+    def test_noiseless(self):
+        params = NoiseParams.noiseless()
+        assert params.p == 0.0
+        assert params.p_gate2 == 0.0
+        params.validate()
+
+    def test_standard_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            NoiseParams.standard(1.5)
+        with pytest.raises(ValueError):
+            NoiseParams.standard(-0.1)
+
+    def test_with_overrides(self):
+        params = NoiseParams.standard(1e-3).with_overrides(p_measure=0.05)
+        assert params.p_measure == 0.05
+        assert params.p_gate2 == pytest.approx(1e-3)
+
+    def test_overrides_do_not_mutate_original(self):
+        original = NoiseParams.standard(1e-3)
+        original.with_overrides(p_measure=0.5)
+        assert original.p_measure == pytest.approx(1e-3)
+
+    def test_validate_rejects_out_of_range(self):
+        params = NoiseParams.standard(1e-3).with_overrides(p_gate1=1.2)
+        with pytest.raises(ValueError):
+            params.validate()
+
+    def test_frozen(self):
+        params = NoiseParams.standard(1e-3)
+        with pytest.raises(Exception):
+            params.p = 0.5
+
+
+class TestLeakageModel:
+    def test_standard_scaling(self):
+        model = LeakageModel.standard(1e-3)
+        assert model.p_leak_round == pytest.approx(1e-4)
+        assert model.p_leak_gate == pytest.approx(1e-4)
+        assert model.p_seepage == pytest.approx(1e-4)
+        assert model.p_transport == pytest.approx(0.1)
+
+    def test_default_transport_model_is_remain(self):
+        model = LeakageModel.standard(1e-3)
+        assert model.transport_model is LeakageTransportModel.REMAIN
+
+    def test_exchange_transport_model(self):
+        model = LeakageModel.standard(1e-3, transport_model=LeakageTransportModel.EXCHANGE)
+        assert model.transport_model is LeakageTransportModel.EXCHANGE
+
+    def test_disabled(self):
+        model = LeakageModel.disabled()
+        assert not model.enabled
+        assert model.p_leak_round == 0.0
+        assert model.p_transport == 0.0
+
+    def test_enabled_flag(self):
+        assert LeakageModel.standard(1e-3).enabled
+        assert not LeakageModel.disabled().enabled
+        assert LeakageModel(0.0, 1e-4, 0.1, 0.0).enabled
+
+    def test_with_overrides(self):
+        model = LeakageModel.standard(1e-3).with_overrides(p_transport=0.25)
+        assert model.p_transport == 0.25
+        assert model.p_leak_round == pytest.approx(1e-4)
+
+    def test_validate_rejects_invalid(self):
+        model = LeakageModel.standard(1e-3).with_overrides(p_transport=1.5)
+        with pytest.raises(ValueError):
+            model.validate()
+
+    def test_dqlr_excitation_default(self):
+        model = LeakageModel.standard(1e-3)
+        assert 0.0 <= model.dqlr_reset_excitation <= 1.0
+
+    def test_transport_model_from_string(self):
+        assert LeakageTransportModel("remain") is LeakageTransportModel.REMAIN
+        assert LeakageTransportModel("exchange") is LeakageTransportModel.EXCHANGE

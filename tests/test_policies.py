@@ -1,0 +1,264 @@
+"""Tests for the five LRC scheduling policies."""
+
+import numpy as np
+import pytest
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.policies import (
+    AlwaysLrcPolicy,
+    EraserMPolicy,
+    EraserPolicy,
+    NoLrcPolicy,
+    OptimalLrcPolicy,
+    make_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RotatedSurfaceCode(3)
+
+
+def no_events(code):
+    return np.zeros(code.num_stabilizers, dtype=bool)
+
+
+def no_labels(code):
+    return np.zeros(code.num_stabilizers, dtype=np.uint8)
+
+
+def no_leaks(code):
+    return np.zeros(code.num_data_qubits, dtype=bool)
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("no-lrc", NoLrcPolicy),
+            ("always-lrc", AlwaysLrcPolicy),
+            ("optimal", OptimalLrcPolicy),
+            ("eraser", EraserPolicy),
+            ("eraser+m", EraserMPolicy),
+        ],
+    )
+    def test_canonical_names(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    @pytest.mark.parametrize(
+        "alias,cls",
+        [
+            ("Always-LRCs", AlwaysLrcPolicy),
+            ("NONE", NoLrcPolicy),
+            ("ideal", OptimalLrcPolicy),
+            ("ERASER_M", EraserMPolicy),
+            ("eraser-m", EraserMPolicy),
+        ],
+    )
+    def test_aliases(self, alias, cls):
+        assert isinstance(make_policy(alias), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("quantum-magic")
+
+    def test_policy_names_are_canonical(self):
+        assert make_policy("always").name == "always-lrc"
+        assert make_policy("eraser+m").name == "eraser+m"
+
+
+class TestNoLrcPolicy:
+    def test_never_schedules(self, code):
+        policy = NoLrcPolicy()
+        policy.bind(code, rng=0)
+        assert policy.initial_assignment() == {}
+        for round_index in range(5):
+            decision = policy.decide(
+                round_index, no_events(code), no_events(code), no_labels(code), no_leaks(code)
+            )
+            assert decision == {}
+
+
+class TestAlwaysLrcPolicy:
+    def test_first_round_has_no_lrcs(self, code):
+        policy = AlwaysLrcPolicy()
+        policy.bind(code, rng=0)
+        assert policy.initial_assignment() == {}
+
+    def test_alternate_rounds_schedule_full_set(self, code):
+        policy = AlwaysLrcPolicy()
+        policy.bind(code, rng=0)
+        decision_r1 = policy.decide(0, no_events(code), no_events(code), no_labels(code), no_leaks(code))
+        assert len(decision_r1) == code.num_data_qubits - 1
+        decision_r2 = policy.decide(1, no_events(code), no_events(code), no_labels(code), no_leaks(code))
+        assert len(decision_r2) == 1
+
+    def test_full_set_uses_unique_parity_qubits(self, code):
+        policy = AlwaysLrcPolicy()
+        policy.bind(code, rng=0)
+        decision = policy.decide(0, no_events(code), no_events(code), no_labels(code), no_leaks(code))
+        assert len(set(decision.values())) == len(decision)
+
+    def test_average_lrcs_per_round_matches_table4(self):
+        """Table 4: Always-LRCs averages roughly d*d/2 LRCs per round."""
+        for distance in (3, 5, 7):
+            code = RotatedSurfaceCode(distance)
+            policy = AlwaysLrcPolicy()
+            policy.bind(code, rng=0)
+            total = len(policy.initial_assignment())
+            rounds = 20
+            for r in range(rounds - 1):
+                total += len(
+                    policy.decide(r, no_events(code), no_events(code), no_labels(code), no_leaks(code))
+                )
+            average = total / rounds
+            assert average == pytest.approx(distance * distance / 2.0, rel=0.15)
+
+    def test_start_with_lrc_round_option(self, code):
+        policy = AlwaysLrcPolicy(start_with_lrc_round=True)
+        policy.bind(code, rng=0)
+        assert len(policy.initial_assignment()) == code.num_data_qubits - 1
+
+    def test_every_data_qubit_eventually_covered(self, code):
+        policy = AlwaysLrcPolicy()
+        policy.bind(code, rng=0)
+        covered = set(policy.initial_assignment())
+        for r in range(4):
+            covered |= set(
+                policy.decide(r, no_events(code), no_events(code), no_labels(code), no_leaks(code))
+            )
+        assert covered == set(code.data_indices)
+
+
+class TestOptimalPolicy:
+    def test_no_leakage_no_lrcs(self, code):
+        policy = OptimalLrcPolicy()
+        policy.bind(code, rng=0)
+        decision = policy.decide(0, no_events(code), no_events(code), no_labels(code), no_leaks(code))
+        assert decision == {}
+
+    def test_schedules_for_leaked_qubits_only(self, code):
+        policy = OptimalLrcPolicy()
+        policy.bind(code, rng=0)
+        truth = no_leaks(code)
+        truth[2] = True
+        truth[6] = True
+        decision = policy.decide(0, no_events(code), no_events(code), no_labels(code), truth)
+        assert set(decision.keys()) == {2, 6}
+
+    def test_assignment_is_adjacent(self, code):
+        policy = OptimalLrcPolicy()
+        policy.bind(code, rng=0)
+        truth = no_leaks(code)
+        truth[4] = True
+        decision = policy.decide(0, no_events(code), no_events(code), no_labels(code), truth)
+        assert decision[4] in code.stabilizer_neighbors(4)
+
+    def test_uses_ground_truth_flag(self):
+        assert OptimalLrcPolicy.uses_ground_truth
+
+    def test_putt_blocks_back_to_back_reuse(self, code):
+        policy = OptimalLrcPolicy(num_backups=0)
+        policy.bind(code, rng=0)
+        truth = no_leaks(code)
+        truth[4] = True
+        first = policy.decide(0, no_events(code), no_events(code), no_labels(code), truth)
+        second = policy.decide(1, no_events(code), no_events(code), no_labels(code), truth)
+        if 4 in second:
+            assert second[4] != first[4]
+        else:
+            assert first  # the qubit had to be skipped because its only partner was used
+
+    def test_start_shot_clears_putt(self, code):
+        policy = OptimalLrcPolicy()
+        policy.bind(code, rng=0)
+        truth = no_leaks(code)
+        truth[4] = True
+        first = policy.decide(0, no_events(code), no_events(code), no_labels(code), truth)
+        policy.start_shot()
+        after_reset = policy.decide(0, no_events(code), no_events(code), no_labels(code), truth)
+        assert after_reset == first
+
+
+class TestEraserPolicy:
+    def test_quiet_syndrome_schedules_nothing(self, code):
+        policy = EraserPolicy()
+        policy.bind(code, rng=0)
+        decision = policy.decide(0, no_events(code), no_events(code), no_labels(code), None)
+        assert decision == {}
+
+    def test_majority_flips_trigger_lrc(self):
+        """Flipping two checks around a deep-bulk qubit triggers exactly that qubit."""
+        code = RotatedSurfaceCode(5)
+        policy = EraserPolicy()
+        policy.bind(code, rng=0)
+        target = code.data_qubit_index(2, 2)
+        events = no_events(code)
+        # Two same-type checks share only the target qubit, so nothing else
+        # reaches its speculation threshold.
+        for stab in code.z_stabilizer_neighbors(target)[:2]:
+            events[stab] = True
+        decision = policy.decide(0, events, events.astype(np.uint8), no_labels(code), None)
+        assert target in decision
+        assert decision[target] in code.stabilizer_neighbors(target)
+        assert list(decision) == [target]
+
+    def test_lrc_not_repeated_next_round(self):
+        code = RotatedSurfaceCode(5)
+        policy = EraserPolicy()
+        policy.bind(code, rng=0)
+        target = code.data_qubit_index(2, 2)
+        events = no_events(code)
+        for stab in code.stabilizer_neighbors(target)[:2]:
+            events[stab] = True
+        first = policy.decide(0, events, events.astype(np.uint8), no_labels(code), None)
+        assert target in first
+        # The same syndrome next round should not re-trigger: the qubit just
+        # had an LRC, so its flips are attributed to the removal itself.
+        second = policy.decide(1, events, events.astype(np.uint8), no_labels(code), None)
+        assert target not in second
+
+    def test_does_not_use_ground_truth(self):
+        assert not EraserPolicy.uses_ground_truth
+
+    def test_start_shot_resets_state(self, code):
+        policy = EraserPolicy()
+        policy.bind(code, rng=0)
+        target = next(q for q in code.data_indices if len(code.stabilizer_neighbors(q)) == 4)
+        events = no_events(code)
+        for stab in code.stabilizer_neighbors(target)[:2]:
+            events[stab] = True
+        first = policy.decide(0, events, events.astype(np.uint8), no_labels(code), None)
+        policy.start_shot()
+        again = policy.decide(0, events, events.astype(np.uint8), no_labels(code), None)
+        assert first == again
+
+    def test_speculation_block_exposed(self, code):
+        policy = EraserPolicy()
+        policy.bind(code, rng=0)
+        assert policy.speculation_block is not None
+
+
+class TestEraserMPolicy:
+    def test_uses_multilevel_readout_flag(self):
+        assert EraserMPolicy.uses_multilevel_readout
+        assert not EraserPolicy.uses_multilevel_readout
+
+    def test_leaked_label_triggers_neighbor_lrcs(self, code):
+        policy = EraserMPolicy()
+        policy.bind(code, rng=0)
+        stab = code.stabilizers[0]
+        labels = no_labels(code)
+        labels[stab.index] = 2
+        decision = policy.decide(0, no_events(code), no_events(code), labels, None)
+        assert set(decision.keys()) & set(stab.data_qubits)
+
+    def test_plain_eraser_ignores_leaked_labels(self, code):
+        policy = EraserPolicy()
+        policy.bind(code, rng=0)
+        labels = np.full(code.num_stabilizers, 2, dtype=np.uint8)
+        decision = policy.decide(0, no_events(code), no_events(code), labels, None)
+        assert decision == {}
+
+    def test_name(self):
+        assert EraserMPolicy().name == "eraser+m"

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.analytic import invisible_leakage_probability
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.dli import DynamicLrcInsertion, SwapLookupTable
+from repro.core.lsb import LeakageSpeculationBlock, speculation_threshold
+from repro.decoder.graph import DecodingGraph
+from repro.decoder.matching import MwpmMatcher
+from repro.experiments.metrics import SpeculationCounts, binomial_stderr, wilson_interval
+from repro.noise.leakage import LeakageModel
+from repro.noise.model import NoiseParams
+from repro.sim.circuit import Cnot, Hadamard, Measure
+from repro.sim.frame_simulator import LeakageFrameSimulator
+
+# Small codes are shared across examples to keep the suite fast.
+_CODE3 = RotatedSurfaceCode(3)
+_CODE5 = RotatedSurfaceCode(5)
+_CODES = {3: _CODE3, 5: _CODE5}
+
+odd_distances = st.sampled_from([3, 5])
+
+
+class TestCodeInvariants:
+    @given(distance=odd_distances)
+    @settings(max_examples=10, deadline=None)
+    def test_stabilizer_count_identity(self, distance):
+        code = _CODES[distance]
+        assert code.num_stabilizers == code.num_data_qubits - 1
+
+    @given(distance=odd_distances, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_every_data_qubit_has_balanced_neighbors(self, distance, data):
+        code = _CODES[distance]
+        qubit = data.draw(st.integers(0, code.num_data_qubits - 1))
+        z = len(code.z_stabilizer_neighbors(qubit))
+        x = len(code.x_stabilizer_neighbors(qubit))
+        assert abs(z - x) <= 1
+        assert z + x == len(code.stabilizer_neighbors(qubit))
+
+    @given(distance=odd_distances, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_stabilizer_support_within_lattice(self, distance, data):
+        code = _CODES[distance]
+        stab = code.stabilizers[data.draw(st.integers(0, code.num_stabilizers - 1))]
+        for qubit in stab.data_qubits:
+            assert 0 <= qubit < code.num_data_qubits
+
+
+class TestDliProperties:
+    @given(
+        distance=odd_distances,
+        requests=st.lists(st.integers(min_value=0, max_value=8), max_size=12),
+        blocked=st.lists(st.integers(min_value=0, max_value=7), max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_assignment_always_valid(self, distance, requests, blocked):
+        code = _CODES[distance]
+        requests = [q % code.num_data_qubits for q in requests]
+        blocked = [s % code.num_stabilizers for s in blocked]
+        dli = DynamicLrcInsertion(SwapLookupTable(code, num_backups=None))
+        assignment = dli.assign(requests, blocked_stabilizers=blocked)
+        # Only requested qubits get LRCs.
+        assert set(assignment).issubset(set(requests))
+        # No parity qubit is used twice and blocked ones are never used.
+        values = list(assignment.values())
+        assert len(values) == len(set(values))
+        assert not (set(values) & set(blocked))
+        # Every pairing is physically adjacent.
+        for data_qubit, stab in assignment.items():
+            assert stab in code.stabilizer_neighbors(data_qubit)
+
+    @given(requests=st.sets(st.integers(min_value=0, max_value=8), max_size=9))
+    @settings(max_examples=40, deadline=None)
+    def test_unblocked_assignment_serves_isolated_requests(self, requests):
+        """A single request can always be served when nothing is blocked."""
+        dli = DynamicLrcInsertion(SwapLookupTable(_CODE3, num_backups=None))
+        for request in requests:
+            assignment = dli.assign([request])
+            assert request in assignment
+
+
+class TestLsbProperties:
+    @given(
+        flips=st.lists(st.booleans(), min_size=8, max_size=8),
+        had_lrc=st.sets(st.integers(min_value=0, max_value=8), max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_speculation_candidates_are_consistent(self, flips, had_lrc):
+        code = _CODE3
+        lsb = LeakageSpeculationBlock(code)
+        events = np.array(flips, dtype=bool)
+        candidates = lsb.observe_round(events, previous_lrc_data_qubits=had_lrc)
+        for qubit in candidates:
+            assert qubit not in had_lrc
+            neighbors = code.stabilizer_neighbors(qubit)
+            assert events[list(neighbors)].sum() >= speculation_threshold(len(neighbors))
+        # Qubits not in the candidate list either had an LRC or are below threshold.
+        for qubit in code.data_indices:
+            if qubit in candidates or qubit in had_lrc:
+                continue
+            neighbors = code.stabilizer_neighbors(qubit)
+            assert events[list(neighbors)].sum() < speculation_threshold(len(neighbors))
+
+    @given(num_neighbors=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_threshold_is_at_least_half(self, num_neighbors):
+        threshold = speculation_threshold(num_neighbors)
+        assert threshold * 2 >= num_neighbors
+        assert (threshold - 1) * 2 < num_neighbors
+
+
+class TestMetricsProperties:
+    counts = st.integers(min_value=0, max_value=10_000)
+
+    @given(tp=counts, fp=counts, tn=counts, fn=counts)
+    @settings(max_examples=100, deadline=None)
+    def test_rates_are_probabilities(self, tp, fp, tn, fn):
+        spec = SpeculationCounts(tp, fp, tn, fn)
+        for value in (spec.accuracy, spec.false_positive_rate, spec.false_negative_rate):
+            assert math.isnan(value) or 0.0 <= value <= 1.0
+        assert spec.total == tp + fp + tn + fn
+
+    @given(successes=st.integers(0, 1000), extra=st.integers(0, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_wilson_interval_bounds(self, successes, extra):
+        trials = successes + extra
+        if trials == 0:
+            return
+        low, high = wilson_interval(successes, trials)
+        rate = successes / trials
+        assert 0.0 <= low <= rate + 1e-12
+        assert rate - 1e-12 <= high <= 1.0
+        assert binomial_stderr(successes, trials) >= 0.0
+
+    @given(rounds=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_invisible_probability_is_decreasing(self, rounds):
+        assert invisible_leakage_probability(rounds + 1) < invisible_leakage_probability(rounds)
+
+
+class TestSimulatorProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_noiseless_simulation_is_error_free(self, seed):
+        sim = LeakageFrameSimulator(
+            5, NoiseParams.noiseless(), LeakageModel.disabled(), rng=seed
+        )
+        records = sim.run(
+            [
+                Hadamard([3]),
+                Cnot([0, 1], [3, 4]),
+                Hadamard([3]),
+                Measure([3, 4], key="m"),
+            ]
+        )
+        assert not records["m"].bits.any()
+        assert not sim.leaked.any()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        p=st.floats(min_value=0.0, max_value=0.2),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.filter_too_much])
+    def test_frames_remain_boolean_arrays(self, seed, p):
+        sim = LeakageFrameSimulator(
+            6, NoiseParams.standard(p), LeakageModel.standard(p), rng=seed
+        )
+        for _ in range(5):
+            sim.run([Cnot([0, 2, 4], [1, 3, 5]), Measure([1, 3, 5], key="m")])
+        assert sim.x.dtype == bool and sim.z.dtype == bool and sim.leaked.dtype == bool
+        assert sim.x.shape == (6,)
+
+
+class TestDecoderProperties:
+    @given(
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_matching_correction_is_binary(self, data):
+        graph = DecodingGraph(_CODE3, num_rounds=2)
+        matcher = MwpmMatcher(graph)
+        detectors = np.zeros((graph.num_layers, graph.num_checks), dtype=bool)
+        num_flips = data.draw(st.integers(min_value=0, max_value=4))
+        for _ in range(num_flips):
+            layer = data.draw(st.integers(0, graph.num_layers - 1))
+            check = data.draw(st.integers(0, graph.num_checks - 1))
+            detectors[layer, check] = True
+        assert matcher.decode(detectors) in (0, 1)

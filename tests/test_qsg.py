@@ -1,0 +1,212 @@
+"""Tests for the QEC Schedule Generator."""
+
+import numpy as np
+import pytest
+
+from repro.codes.layout import StabilizerType
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.qsg import (
+    KEY_FINAL_DATA,
+    KEY_LRC_SYNDROME,
+    KEY_MAIN_SYNDROME,
+    PROTOCOL_DQLR,
+    PROTOCOL_SWAP,
+    QecScheduleGenerator,
+)
+from repro.noise.leakage import LeakageModel
+from repro.noise.model import NoiseParams
+from repro.sim.circuit import (
+    Cnot,
+    Hadamard,
+    LeakISwap,
+    LrcFinalize,
+    Measure,
+    MeasureReset,
+    Reset,
+    RoundNoise,
+)
+from repro.sim.frame_simulator import LeakageFrameSimulator
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RotatedSurfaceCode(3)
+
+
+@pytest.fixture(scope="module")
+def qsg(code):
+    return QecScheduleGenerator(code)
+
+
+class TestPlainRound:
+    def test_round_starts_with_round_noise_on_data(self, code, qsg):
+        ops, _ = qsg.build_round({})
+        assert isinstance(ops[0], RoundNoise)
+        assert set(ops[0].qubits.tolist()) == set(code.data_indices)
+
+    def test_round_has_four_cnot_layers(self, qsg):
+        ops, _ = qsg.build_round({})
+        cnot_layers = [op for op in ops if isinstance(op, Cnot)]
+        assert len(cnot_layers) == 4
+
+    def test_total_cnot_count_matches_stabilizer_weights(self, code, qsg):
+        ops, _ = qsg.build_round({})
+        total = sum(op.controls.size for op in ops if isinstance(op, Cnot))
+        expected = sum(s.weight for s in code.stabilizers)
+        assert total == expected
+
+    def test_hadamards_bracket_the_cnot_layers(self, code, qsg):
+        ops, _ = qsg.build_round({})
+        hadamards = [op for op in ops if isinstance(op, Hadamard)]
+        assert len(hadamards) == 2
+        x_ancillas = {s.ancilla for s in code.x_stabilizers}
+        for op in hadamards:
+            assert set(op.qubits.tolist()) == x_ancillas
+
+    def test_cnot_direction_depends_on_type(self, code, qsg):
+        ops, _ = qsg.build_round({})
+        z_ancillas = {s.ancilla for s in code.z_stabilizers}
+        x_ancillas = {s.ancilla for s in code.x_stabilizers}
+        for op in ops:
+            if not isinstance(op, Cnot):
+                continue
+            for control, target in zip(op.controls.tolist(), op.targets.tolist()):
+                if target in z_ancillas:
+                    assert control < code.num_data_qubits
+                elif control in x_ancillas:
+                    assert target < code.num_data_qubits
+
+    def test_all_stabilizers_measured_exactly_once(self, code, qsg):
+        _, layout = qsg.build_round({})
+        assert sorted(layout.main_stabilizers) == list(range(code.num_stabilizers))
+        assert layout.lrc_stabilizers == ()
+        assert layout.num_lrcs == 0
+
+    def test_plain_round_has_measure_reset(self, qsg):
+        ops, _ = qsg.build_round({})
+        assert any(isinstance(op, MeasureReset) for op in ops)
+        assert not any(isinstance(op, LrcFinalize) for op in ops)
+
+
+class TestSwapLrcRound:
+    def test_lrc_adds_three_swap_layers(self, code, qsg):
+        assignment = {4: code.stabilizer_neighbors(4)[0]}
+        ops, _ = qsg.build_round(assignment)
+        cnot_layers = [op for op in ops if isinstance(op, Cnot)]
+        assert len(cnot_layers) == 7  # 4 stabilizer layers + 3 SWAP layers
+
+    def test_layout_reports_lrc(self, code, qsg):
+        stab = code.stabilizer_neighbors(4)[0]
+        _, layout = qsg.build_round({4: stab})
+        assert layout.lrc_data_qubits == (4,)
+        assert layout.lrc_stabilizers == (stab,)
+        assert layout.num_lrcs == 1
+        assert stab not in layout.main_stabilizers
+
+    def test_main_and_lrc_cover_all_stabilizers(self, code, qsg):
+        assignment = {4: code.stabilizer_neighbors(4)[0], 0: code.stabilizer_neighbors(0)[0]}
+        _, layout = qsg.build_round(assignment)
+        covered = set(layout.main_stabilizers) | set(layout.lrc_stabilizers)
+        assert covered == set(range(code.num_stabilizers))
+
+    def test_lrc_finalize_targets_match_assignment(self, code, qsg):
+        stab = code.stabilizer_neighbors(4)[0]
+        ops, _ = qsg.build_round({4: stab})
+        finalize = next(op for op in ops if isinstance(op, LrcFinalize))
+        assert finalize.data_qubits.tolist() == [4]
+        assert finalize.ancillas.tolist() == [code.ancilla_of(stab)]
+        assert finalize.meta == (stab,)
+
+    def test_conflicting_assignment_rejected(self, code, qsg):
+        shared = code.stabilizers[0]
+        pair = list(shared.data_qubits)[:2]
+        with pytest.raises(ValueError):
+            qsg.build_round({pair[0]: shared.index, pair[1]: shared.index})
+
+    def test_non_adjacent_assignment_rejected(self, code, qsg):
+        non_neighbor = next(
+            s.index for s in code.stabilizers if 4 not in s.data_qubits
+        )
+        with pytest.raises(ValueError):
+            qsg.build_round({4: non_neighbor})
+
+    def test_adaptive_multilevel_flag_propagates(self, code):
+        qsg_m = QecScheduleGenerator(code, adaptive_multilevel=True)
+        stab = code.stabilizer_neighbors(4)[0]
+        ops, _ = qsg_m.build_round({4: stab})
+        finalize = next(op for op in ops if isinstance(op, LrcFinalize))
+        assert finalize.adaptive_multilevel
+
+
+class TestDqlrRound:
+    def test_dqlr_round_has_leak_iswap_and_extra_reset(self, code):
+        qsg = QecScheduleGenerator(code, protocol=PROTOCOL_DQLR)
+        assignment = {4: code.stabilizer_neighbors(4)[0]}
+        ops, layout = qsg.build_round(assignment)
+        assert any(isinstance(op, LeakISwap) for op in ops)
+        assert any(isinstance(op, Reset) for op in ops)
+        assert layout.dqlr_data_qubits == (4,)
+        assert layout.num_lrcs == 1
+
+    def test_dqlr_measures_all_checks_normally(self, code):
+        qsg = QecScheduleGenerator(code, protocol=PROTOCOL_DQLR)
+        _, layout = qsg.build_round({4: code.stabilizer_neighbors(4)[0]})
+        assert sorted(layout.main_stabilizers) == list(range(code.num_stabilizers))
+        assert layout.lrc_stabilizers == ()
+
+    def test_dqlr_without_assignment_is_plain_round(self, code):
+        qsg = QecScheduleGenerator(code, protocol=PROTOCOL_DQLR)
+        ops, layout = qsg.build_round({})
+        assert not any(isinstance(op, LeakISwap) for op in ops)
+        assert layout.num_lrcs == 0
+
+    def test_unknown_protocol_rejected(self, code):
+        with pytest.raises(ValueError):
+            QecScheduleGenerator(code, protocol="teleportation")
+
+
+class TestFinalMeasurementAndAssembly:
+    def test_final_data_measurement_covers_all_data(self, code, qsg):
+        ops = qsg.build_final_data_measurement()
+        assert len(ops) == 1
+        assert isinstance(ops[0], Measure)
+        assert ops[0].key == KEY_FINAL_DATA
+        assert set(ops[0].qubits.tolist()) == set(code.data_indices)
+
+    def test_assemble_syndrome_combines_main_and_lrc(self, code, qsg):
+        sim = LeakageFrameSimulator(
+            code.num_qubits, NoiseParams.noiseless(), LeakageModel.disabled(), rng=0
+        )
+        stab = code.stabilizer_neighbors(4)[0]
+        ops, layout = qsg.build_round({4: stab})
+        records = sim.run(ops)
+        bits, labels, leaked = qsg.assemble_syndrome(records, layout)
+        assert bits.shape == (code.num_stabilizers,)
+        assert labels.shape == (code.num_stabilizers,)
+        assert not bits.any()
+        assert not leaked.any()
+
+    def test_noiseless_round_yields_zero_syndrome(self, code, qsg):
+        sim = LeakageFrameSimulator(
+            code.num_qubits, NoiseParams.noiseless(), LeakageModel.disabled(), rng=0
+        )
+        for _ in range(4):
+            ops, layout = qsg.build_round({})
+            records = sim.run(ops)
+            bits, _, _ = qsg.assemble_syndrome(records, layout)
+            assert not bits.any()
+
+    def test_noiseless_round_with_lrcs_yields_zero_syndrome(self, code, qsg):
+        """LRC circuitry itself must not fake detection events."""
+        sim = LeakageFrameSimulator(
+            code.num_qubits, NoiseParams.noiseless(), LeakageModel.disabled(), rng=0
+        )
+        assignment = {4: code.stabilizer_neighbors(4)[0], 0: code.stabilizer_neighbors(0)[0]}
+        for _ in range(3):
+            ops, layout = qsg.build_round(assignment)
+            records = sim.run(ops)
+            bits, _, _ = qsg.assemble_syndrome(records, layout)
+            assert not bits.any()
+
+    def test_key_constants_are_distinct(self):
+        assert len({KEY_MAIN_SYNDROME, KEY_LRC_SYNDROME, KEY_FINAL_DATA}) == 3

@@ -1,0 +1,125 @@
+"""Tests for ququart operators used by the density-matrix study."""
+
+import numpy as np
+import pytest
+
+from repro.densitymatrix.ququart import (
+    LEVELS,
+    cnot_with_leakage,
+    identity,
+    is_unitary,
+    leakage_injection_unitary,
+    leakage_transport_unitary,
+    rx_computational,
+    swap_computational,
+    x_computational,
+)
+
+
+def basis(*levels):
+    """Return the basis-state column vector |levels...> for ququarts."""
+    index = 0
+    for level in levels:
+        index = index * LEVELS + level
+    vector = np.zeros(LEVELS ** len(levels), dtype=complex)
+    vector[index] = 1.0
+    return vector
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            rx_computational(0.65 * np.pi),
+            rx_computational(0.3),
+            x_computational(),
+            cnot_with_leakage(),
+            leakage_transport_unitary(),
+            leakage_injection_unitary(),
+            swap_computational(),
+            identity(2),
+        ],
+    )
+    def test_operators_are_unitary(self, op):
+        assert is_unitary(op)
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not is_unitary(np.ones((4, 4), dtype=complex))
+
+
+class TestRx:
+    def test_rx_pi_acts_as_x_on_computational(self):
+        op = rx_computational(np.pi)
+        out = op @ basis(0)
+        assert abs(out[1]) == pytest.approx(1.0)
+
+    def test_rx_leaves_leaked_levels_alone(self):
+        op = rx_computational(0.65 * np.pi)
+        assert np.allclose(op @ basis(2), basis(2))
+        assert np.allclose(op @ basis(3), basis(3))
+
+    def test_rx_zero_is_identity(self):
+        assert np.allclose(rx_computational(0.0), np.eye(LEVELS))
+
+
+class TestCnotWithLeakage:
+    def test_acts_as_cnot_on_computational_states(self):
+        op = cnot_with_leakage()
+        assert np.allclose(op @ basis(0, 0), basis(0, 0))
+        assert np.allclose(op @ basis(0, 1), basis(0, 1))
+        assert np.allclose(op @ basis(1, 0), basis(1, 1))
+        assert np.allclose(op @ basis(1, 1), basis(1, 0))
+
+    def test_leaked_control_rotates_target(self):
+        op = cnot_with_leakage(theta=np.pi)
+        out = op @ basis(2, 0)
+        # Control stays in |2>, target rotated |0> -> |1> (up to phase).
+        amplitude = out[2 * LEVELS + 1]
+        assert abs(amplitude) == pytest.approx(1.0)
+
+    def test_leaked_target_rotates_control(self):
+        op = cnot_with_leakage(theta=np.pi)
+        out = op @ basis(0, 2)
+        amplitude = out[1 * LEVELS + 2]
+        assert abs(amplitude) == pytest.approx(1.0)
+
+    def test_both_leaked_is_identity(self):
+        op = cnot_with_leakage()
+        assert np.allclose(op @ basis(2, 3), basis(2, 3))
+        assert np.allclose(op @ basis(3, 2), basis(3, 2))
+
+    def test_leaked_control_does_not_unleak(self):
+        op = cnot_with_leakage()
+        out = op @ basis(2, 0)
+        # All population stays in the control-leaked sector.
+        reshaped = np.abs(out.reshape(LEVELS, LEVELS)) ** 2
+        assert reshaped[2].sum() == pytest.approx(1.0)
+
+
+class TestTransportAndInjection:
+    def test_transport_moves_leakage_right(self):
+        op = leakage_transport_unitary()
+        assert np.allclose(op @ basis(2, 0), basis(0, 2))
+        assert np.allclose(op @ basis(2, 1), basis(1, 2))
+
+    def test_transport_moves_leakage_left(self):
+        op = leakage_transport_unitary()
+        assert np.allclose(op @ basis(0, 2), basis(2, 0))
+
+    def test_transport_fixes_double_leakage(self):
+        op = leakage_transport_unitary()
+        assert np.allclose(op @ basis(2, 2), basis(2, 2))
+
+    def test_transport_fixes_computational_states(self):
+        op = leakage_transport_unitary()
+        assert np.allclose(op @ basis(1, 0), basis(1, 0))
+
+    def test_injection_swaps_one_and_two(self):
+        op = leakage_injection_unitary()
+        assert np.allclose(op @ basis(1), basis(2))
+        assert np.allclose(op @ basis(2), basis(1))
+        assert np.allclose(op @ basis(0), basis(0))
+
+    def test_swap_computational_swaps_states(self):
+        op = swap_computational()
+        assert np.allclose(op @ basis(1, 3), basis(3, 1))

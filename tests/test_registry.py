@@ -1,0 +1,63 @@
+"""Tests for the experiment registry."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    format_experiment_index,
+    get_experiment,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestRegistryContents:
+    def test_all_paper_experiments_present(self):
+        expected = {
+            "fig2c", "eq1-2", "table2", "fig5", "fig6", "fig8", "fig14", "fig14b",
+            "fig15", "fig16", "table3", "table4", "fig17", "fig20", "ablations",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_every_benchmark_file_exists(self):
+        for spec in EXPERIMENTS.values():
+            assert (REPO_ROOT / spec.benchmark).exists(), spec.benchmark
+
+    def test_every_module_is_importable(self):
+        import importlib
+
+        for spec in EXPERIMENTS.values():
+            for module in spec.modules:
+                assert importlib.import_module(module) is not None
+
+    def test_specs_are_frozen(self):
+        spec = EXPERIMENTS["fig14"]
+        with pytest.raises(Exception):
+            spec.title = "changed"
+
+    def test_ids_match_keys(self):
+        for key, spec in EXPERIMENTS.items():
+            assert key == spec.experiment_id
+
+
+class TestLookupAndFormatting:
+    def test_get_experiment(self):
+        spec = get_experiment("fig14")
+        assert isinstance(spec, ExperimentSpec)
+        assert "distance" in spec.title or "LER" in spec.title
+
+    def test_get_experiment_is_case_insensitive(self):
+        assert get_experiment("FIG14") is EXPERIMENTS["fig14"]
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_format_index_mentions_every_id(self):
+        text = format_experiment_index()
+        for key in EXPERIMENTS:
+            assert key in text
+        assert "benchmark" in text

@@ -1,0 +1,118 @@
+"""Tests for result containers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import SpeculationCounts
+from repro.experiments.results import MemoryExperimentResult, PolicySweepResult
+
+
+def make_result(policy="eraser", distance=3, errors=5, shots=100, lrcs=1.0):
+    rounds = 3 * distance
+    return MemoryExperimentResult(
+        policy=policy,
+        distance=distance,
+        rounds=rounds,
+        physical_error_rate=1e-3,
+        shots=shots,
+        logical_errors=errors,
+        lpr_total=np.linspace(0.0, 1e-3, rounds),
+        lpr_data=np.linspace(0.0, 1e-3, rounds),
+        lpr_parity=np.linspace(0.0, 5e-4, rounds),
+        lrcs_per_round=lrcs,
+        speculation=SpeculationCounts(5, 5, 85, 5),
+        metadata={"protocol": "swap"},
+    )
+
+
+class TestMemoryExperimentResult:
+    def test_logical_error_rate(self):
+        result = make_result(errors=5, shots=100)
+        assert result.logical_error_rate == pytest.approx(0.05)
+
+    def test_ler_nan_when_decoding_disabled(self):
+        result = make_result(errors=-1)
+        assert math.isnan(result.logical_error_rate)
+        assert math.isnan(result.logical_error_rate_stderr)
+
+    def test_stderr_positive(self):
+        result = make_result(errors=5, shots=100)
+        assert result.logical_error_rate_stderr > 0.0
+
+    def test_interval_brackets_rate(self):
+        result = make_result(errors=5, shots=100)
+        low, high = result.logical_error_rate_interval
+        assert low < result.logical_error_rate < high
+
+    def test_lpr_summaries(self):
+        result = make_result()
+        assert result.final_lpr == pytest.approx(1e-3)
+        assert 0.0 < result.mean_lpr < 1e-3
+
+    def test_to_dict_fields(self):
+        row = make_result().to_dict()
+        assert row["policy"] == "eraser"
+        assert row["distance"] == 3
+        assert row["meta_protocol"] == "swap"
+        assert "logical_error_rate" in row
+        assert "false_negative_rate" in row
+
+    def test_summary_is_one_line(self):
+        summary = make_result().summary()
+        assert "\n" not in summary
+        assert "eraser" in summary
+        assert "d=3" in summary
+
+    def test_summary_handles_nan_ler(self):
+        summary = make_result(errors=-1).summary()
+        assert "n/a" in summary
+
+
+class TestPolicySweepResult:
+    def _sweep(self):
+        sweep = PolicySweepResult()
+        for policy in ("always-lrc", "eraser"):
+            for distance, errors in ((3, 20), (5, 10)):
+                sweep.add(make_result(policy=policy, distance=distance, errors=errors))
+        return sweep
+
+    def test_len_and_iter(self):
+        sweep = self._sweep()
+        assert len(sweep) == 4
+        assert len(list(sweep)) == 4
+
+    def test_policies_preserve_order(self):
+        assert self._sweep().policies() == ["always-lrc", "eraser"]
+
+    def test_distances_sorted(self):
+        assert self._sweep().distances() == [3, 5]
+
+    def test_by_policy(self):
+        results = self._sweep().by_policy("eraser")
+        assert len(results) == 2
+        assert all(r.policy == "eraser" for r in results)
+
+    def test_filter(self):
+        filtered = self._sweep().filter(distance=5, policy="eraser")
+        assert len(filtered) == 1
+        assert filtered.results[0].distance == 5
+
+    def test_ler_table_shape(self):
+        table = self._sweep().ler_table()
+        assert set(table.keys()) == {"always-lrc", "eraser"}
+        assert set(table["eraser"].keys()) == {3, 5}
+
+    def test_lrc_table(self):
+        table = self._sweep().lrc_table()
+        assert table["eraser"][3] == pytest.approx(1.0)
+
+    def test_to_rows(self):
+        rows = self._sweep().to_rows()
+        assert len(rows) == 4
+        assert all("policy" in row for row in rows)
+
+    def test_format_table_lines(self):
+        text = self._sweep().format_table()
+        assert len(text.splitlines()) == 4

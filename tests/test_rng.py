@@ -1,0 +1,38 @@
+"""Tests for the random-number-generation helpers."""
+
+import numpy as np
+
+from repro.sim.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(5)
+        b = make_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_streams_are_independent(self):
+        streams = spawn_rngs(123, 3)
+        values = [g.random(4).tolist() for g in streams]
+        assert values[0] != values[1]
+        assert values[1] != values[2]
+
+    def test_zero_count(self):
+        assert spawn_rngs(5, 0) == []

@@ -1,0 +1,210 @@
+"""Structural tests for the rotated surface code construction."""
+
+import numpy as np
+import pytest
+
+from repro.codes.layout import StabilizerType
+from repro.codes.rotated_surface import RotatedSurfaceCode
+
+DISTANCES = [3, 5, 7, 9, 11]
+
+
+@pytest.fixture(scope="module")
+def codes():
+    return {d: RotatedSurfaceCode(d) for d in DISTANCES}
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_qubit_counts(self, codes, distance):
+        code = codes[distance]
+        assert code.num_data_qubits == distance * distance
+        assert code.num_parity_qubits == distance * distance - 1
+        assert code.num_qubits == 2 * distance * distance - 1
+
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_stabilizer_count(self, codes, distance):
+        assert codes[distance].num_stabilizers == distance * distance - 1
+
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_equal_x_and_z_checks(self, codes, distance):
+        code = codes[distance]
+        assert len(code.z_stabilizers) == (distance * distance - 1) // 2
+        assert len(code.x_stabilizers) == (distance * distance - 1) // 2
+
+    def test_invalid_even_distance(self):
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(4)
+
+    def test_invalid_small_distance(self):
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(1)
+
+    def test_describe_mentions_distance(self, codes):
+        assert "d=5" in codes[5].describe()
+
+
+class TestStabilizerStructure:
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_weights_are_two_or_four(self, codes, distance):
+        for stab in codes[distance].stabilizers:
+            assert stab.weight in (2, 4)
+
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_weight_two_count(self, codes, distance):
+        boundary = [s for s in codes[distance].stabilizers if s.weight == 2]
+        assert len(boundary) == 2 * (distance - 1)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_commutation(self, codes, distance):
+        """Every X stabilizer must overlap every Z stabilizer on an even number of qubits."""
+        code = codes[distance]
+        for x_stab in code.x_stabilizers:
+            x_support = set(x_stab.data_qubits)
+            for z_stab in code.z_stabilizers:
+                overlap = len(x_support & set(z_stab.data_qubits))
+                assert overlap % 2 == 0
+
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_ancilla_indices_follow_data(self, codes, distance):
+        code = codes[distance]
+        for stab in code.stabilizers:
+            assert stab.ancilla == code.num_data_qubits + stab.index
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_schedule_contains_support(self, codes, distance):
+        for stab in codes[distance].stabilizers:
+            scheduled = {q for q in stab.schedule if q is not None}
+            assert scheduled == set(stab.data_qubits)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_schedule_is_conflict_free(self, codes, distance):
+        """No data qubit may be touched twice in the same CNOT layer."""
+        code = codes[distance]
+        for layer in range(4):
+            touched = [s.schedule[layer] for s in code.stabilizers if s.schedule[layer] is not None]
+            assert len(touched) == len(set(touched))
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_every_data_qubit_in_some_stabilizer(self, codes, distance):
+        code = codes[distance]
+        covered = set()
+        for stab in code.stabilizers:
+            covered.update(stab.data_qubits)
+        assert covered == set(code.data_indices)
+
+
+class TestAdjacency:
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_neighbor_counts(self, codes, distance):
+        code = codes[distance]
+        for q in code.data_indices:
+            assert 1 <= len(code.z_stabilizer_neighbors(q)) <= 2
+            assert 1 <= len(code.x_stabilizer_neighbors(q)) <= 2
+            assert 2 <= len(code.stabilizer_neighbors(q)) <= 4
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_neighbors_partition_by_type(self, codes, distance):
+        code = codes[distance]
+        for q in code.data_indices:
+            z = set(code.z_stabilizer_neighbors(q))
+            x = set(code.x_stabilizer_neighbors(q))
+            assert z | x == set(code.stabilizer_neighbors(q))
+            assert not (z & x)
+
+    def test_adjacency_is_mutual(self, codes):
+        code = codes[3]
+        for q in code.data_indices:
+            for s in code.stabilizer_neighbors(q):
+                assert q in code.stabilizers[s].data_qubits
+
+    def test_parity_neighbors_are_ancillas(self, codes):
+        code = codes[3]
+        for q in code.data_indices:
+            for anc in code.parity_neighbors(q):
+                assert anc >= code.num_data_qubits
+
+    def test_stabilizer_of_ancilla_roundtrip(self, codes):
+        code = codes[5]
+        for stab in code.stabilizers:
+            assert code.stabilizer_of_ancilla(stab.ancilla) == stab.index
+
+    def test_stabilizer_of_ancilla_rejects_data_qubit(self, codes):
+        with pytest.raises(ValueError):
+            codes[3].stabilizer_of_ancilla(0)
+
+    def test_data_qubit_index_roundtrip(self, codes):
+        code = codes[5]
+        for q in code.data_indices:
+            row, col = code.data_coord(q)
+            assert code.data_qubit_index(row, col) == q
+
+
+class TestLogicalOperators:
+    @pytest.mark.parametrize("distance", DISTANCES)
+    def test_support_sizes(self, codes, distance):
+        code = codes[distance]
+        assert len(code.logical_z_support) == distance
+        assert len(code.logical_x_support) == distance
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_logical_x_commutes_with_z_checks(self, codes, distance):
+        """An X chain on the logical-X support must flip no Z stabilizer."""
+        code = codes[distance]
+        support = set(code.logical_x_support)
+        for z_stab in code.z_stabilizers:
+            assert len(support & set(z_stab.data_qubits)) % 2 == 0
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_logical_z_commutes_with_x_checks(self, codes, distance):
+        code = codes[distance]
+        support = set(code.logical_z_support)
+        for x_stab in code.x_stabilizers:
+            assert len(support & set(x_stab.data_qubits)) % 2 == 0
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_logicals_anticommute(self, codes, distance):
+        code = codes[distance]
+        overlap = set(code.logical_z_support) & set(code.logical_x_support)
+        assert len(overlap) % 2 == 1
+
+    def test_logical_z_is_top_row(self, codes):
+        code = codes[3]
+        rows = {code.data_coord(q)[0] for q in code.logical_z_support}
+        assert rows == {0}
+
+    def test_logical_x_is_left_column(self, codes):
+        code = codes[3]
+        cols = {code.data_coord(q)[1] for q in code.logical_x_support}
+        assert cols == {0}
+
+
+class TestBoundaryStructure:
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_single_z_neighbor_only_on_top_bottom_rows(self, codes, distance):
+        """X chains terminate at the top/bottom boundaries only."""
+        code = codes[distance]
+        for q in code.data_indices:
+            row, _ = code.data_coord(q)
+            if len(code.z_stabilizer_neighbors(q)) == 1:
+                assert row in (0, distance - 1)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_single_x_neighbor_only_on_left_right_columns(self, codes, distance):
+        code = codes[distance]
+        for q in code.data_indices:
+            _, col = code.data_coord(q)
+            if len(code.x_stabilizer_neighbors(q)) == 1:
+                assert col in (0, distance - 1)
+
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_weight_two_checks_sit_on_matching_boundaries(self, codes, distance):
+        code = codes[distance]
+        for stab in code.stabilizers:
+            if stab.weight != 2:
+                continue
+            row, col = stab.plaquette
+            if stab.stype is StabilizerType.X:
+                assert row in (0, distance)
+            else:
+                assert col in (0, distance)

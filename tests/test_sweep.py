@@ -1,0 +1,86 @@
+"""Tests for the sweep helpers used by the benchmark harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import (
+    compare_policies,
+    ler_vs_cycles,
+    ler_vs_distance,
+    lpr_time_series,
+    run_single,
+)
+from repro.noise.leakage import LeakageTransportModel
+
+
+class TestRunSingle:
+    def test_basic_run(self):
+        result = run_single(3, "eraser", p=1e-3, cycles=1, shots=5, seed=0)
+        assert result.policy == "eraser"
+        assert result.distance == 3
+        assert result.shots == 5
+
+    def test_rounds_override(self):
+        result = run_single(3, "no-lrc", cycles=10, rounds=4, shots=2, seed=0)
+        assert result.rounds == 4
+
+    def test_leakage_disabled(self):
+        result = run_single(3, "no-lrc", cycles=1, shots=5, leakage_enabled=False, seed=0)
+        assert result.metadata["leakage_enabled"] is False
+        assert result.mean_lpr == 0.0
+
+    def test_alternative_transport_model_recorded(self):
+        result = run_single(
+            3,
+            "no-lrc",
+            cycles=1,
+            shots=2,
+            transport_model=LeakageTransportModel.EXCHANGE,
+            seed=0,
+        )
+        assert result.metadata["transport_model"] == "exchange"
+
+
+class TestComparePolicies:
+    def test_sweep_dimensions(self):
+        sweep = compare_policies(
+            distances=[3],
+            policies=["always-lrc", "eraser"],
+            cycles=1,
+            shots=3,
+            seed=1,
+        )
+        assert len(sweep) == 2
+        assert sweep.policies() == ["always-lrc", "eraser"]
+        assert sweep.distances() == [3]
+
+    def test_ler_table_structure(self):
+        table = ler_vs_distance([3], policies=["eraser"], cycles=1, shots=3, seed=1)
+        assert set(table.keys()) == {"eraser"}
+        assert set(table["eraser"].keys()) == {3}
+
+    def test_decode_false_skips_decoding(self):
+        sweep = compare_policies(
+            distances=[3], policies=["eraser"], cycles=1, shots=3, decode=False, seed=1
+        )
+        assert sweep.results[0].logical_errors == -1
+
+
+class TestLprTimeSeries:
+    def test_series_lengths(self):
+        series = lpr_time_series(3, policies=["no-lrc", "always-lrc"], cycles=2, shots=3, seed=2)
+        assert set(series.keys()) == {"no-lrc", "always-lrc"}
+        for values in series.values():
+            assert values.shape == (6,)
+            assert np.all(values >= 0.0)
+
+
+class TestLerVsCycles:
+    def test_table_structure(self):
+        table = ler_vs_cycles(3, ["no-lrc"], cycles_list=[1, 2], shots=3, seed=3)
+        assert set(table.keys()) == {"no-lrc"}
+        assert set(table["no-lrc"].keys()) == {1, 2}
+
+    def test_alias_names_map_to_canonical(self):
+        table = ler_vs_cycles(3, ["always"], cycles_list=[1], shots=2, seed=4)
+        assert "always-lrc" in table

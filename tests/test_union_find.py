@@ -1,0 +1,142 @@
+"""Tests for the Union-Find decoder."""
+
+import numpy as np
+import pytest
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.policies import make_policy
+from repro.decoder.decoder import SurfaceCodeDecoder
+from repro.decoder.fault_injection import FaultInjector
+from repro.decoder.graph import DecodingGraph
+from repro.decoder.matching import build_matcher
+from repro.decoder.union_find import UnionFindMatcher
+from repro.experiments.memory import MemoryExperiment
+from repro.noise.leakage import LeakageModel
+from repro.noise.model import NoiseParams
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RotatedSurfaceCode(3)
+
+
+@pytest.fixture(scope="module")
+def graph(code):
+    return DecodingGraph(code, num_rounds=3)
+
+
+@pytest.fixture(scope="module")
+def uf(graph):
+    return UnionFindMatcher(graph)
+
+
+class TestBasics:
+    def test_build_matcher_alias(self, graph):
+        for name in ("union-find", "unionfind", "uf"):
+            assert isinstance(build_matcher(graph, name), UnionFindMatcher)
+
+    def test_empty_syndrome(self, uf, graph):
+        detectors = np.zeros((graph.num_layers, graph.num_checks), dtype=bool)
+        assert uf.decode(detectors) == 0
+
+    def test_single_detector_returns_bit(self, uf, graph):
+        detectors = np.zeros((graph.num_layers, graph.num_checks), dtype=bool)
+        detectors[1, 0] = True
+        assert uf.decode(detectors) in (0, 1)
+
+    def test_measurement_error_pair_is_trivial(self, uf, graph):
+        """Two time-adjacent detectors on the same check never flip the observable."""
+        for check in range(graph.num_checks):
+            detectors = np.zeros((graph.num_layers, graph.num_checks), dtype=bool)
+            detectors[1, check] = True
+            detectors[2, check] = True
+            assert uf.decode(detectors) == 0
+
+
+class TestSingleFaultCorrection:
+    def test_all_single_data_x_faults_corrected(self, code):
+        injector = FaultInjector(code, num_rounds=3)
+        decoder = SurfaceCodeDecoder(code, num_rounds=3, method="union-find")
+        for round_index in range(3):
+            for qubit in code.data_indices:
+                history, final = injector._run(round_index, qubit, "X")
+                assert decoder.decode_shot(history, final) is False
+
+    def test_all_single_measurement_flips_corrected(self, code):
+        injector = FaultInjector(code, num_rounds=3)
+        decoder = SurfaceCodeDecoder(code, num_rounds=3, method="union-find")
+        base_history, base_final = injector._run()
+        for stab in code.z_stabilizers:
+            for round_index in range(3):
+                history = base_history.copy()
+                history[round_index, stab.index] ^= 1
+                assert decoder.decode_shot(history, base_final) is False
+
+    def test_all_final_data_flips_corrected(self, code):
+        injector = FaultInjector(code, num_rounds=3)
+        decoder = SurfaceCodeDecoder(code, num_rounds=3, method="union-find")
+        base_history, base_final = injector._run()
+        for qubit in code.data_indices:
+            final = base_final.copy()
+            final[qubit] ^= 1
+            assert decoder.decode_shot(base_history, final) is False
+
+    def test_logical_chain_still_detected_as_error(self, code):
+        decoder = SurfaceCodeDecoder(code, num_rounds=3, method="union-find")
+        history = np.zeros((3, code.num_stabilizers), dtype=np.uint8)
+        final = np.zeros(code.num_data_qubits, dtype=np.uint8)
+        for q in code.logical_x_support:
+            final[q] ^= 1
+        assert decoder.decode_shot(history, final) is True
+
+
+class TestAgreementWithMwpm:
+    def test_agrees_with_mwpm_on_single_faults(self, code):
+        injector = FaultInjector(code, num_rounds=3)
+        mwpm = SurfaceCodeDecoder(code, num_rounds=3, method="mwpm")
+        uf = SurfaceCodeDecoder(code, num_rounds=3, method="union-find")
+        for qubit in code.data_indices:
+            history, final = injector._run(1, qubit, "X")
+            assert mwpm.decode_shot(history, final) == uf.decode_shot(history, final)
+
+    def test_distance5_single_faults(self):
+        code5 = RotatedSurfaceCode(5)
+        injector = FaultInjector(code5, num_rounds=2)
+        decoder = SurfaceCodeDecoder(code5, num_rounds=2, method="union-find")
+        for qubit in list(code5.data_indices)[::3]:
+            history, final = injector._run(1, qubit, "X")
+            assert decoder.decode_shot(history, final) is False
+
+
+class TestEndToEnd:
+    def test_memory_experiment_with_union_find(self, code):
+        experiment = MemoryExperiment(
+            code=code,
+            policy=make_policy("eraser"),
+            noise=NoiseParams.standard(1e-3),
+            leakage=LeakageModel.standard(1e-3),
+            cycles=2,
+            decoder_method="union-find",
+            seed=3,
+        )
+        result = experiment.run(20)
+        assert 0.0 <= result.logical_error_rate <= 1.0
+
+    def test_union_find_ler_comparable_to_mwpm_without_leakage(self, code):
+        def run(method):
+            experiment = MemoryExperiment(
+                code=code,
+                policy=make_policy("no-lrc"),
+                noise=NoiseParams.standard(2e-3),
+                leakage=LeakageModel.disabled(),
+                cycles=3,
+                decoder_method=method,
+                seed=11,
+            )
+            return experiment.run(150).logical_error_rate
+
+        mwpm_ler = run("mwpm")
+        uf_ler = run("union-find")
+        # Union-Find is known to be slightly less accurate than MWPM but must
+        # stay within a small constant factor at these error rates.
+        assert uf_ler <= max(4.0 * mwpm_ler, mwpm_ler + 0.08)
