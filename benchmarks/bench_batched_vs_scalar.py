@@ -1,0 +1,62 @@
+"""Micro-benchmark: batched vs scalar Monte-Carlo engine throughput.
+
+Times ``MemoryExperiment.run`` on the same configuration with both engines
+and prints the per-policy wall-clock speedup.  The batched engine carries all
+shots as 2-D frame arrays and executes each round's LRC tail as flattened
+pair instances, so its advantage grows with the shot count; the PR that
+introduced it targets >= 3x at 200 shots, d=5.
+
+Environment knobs (see ``conftest.py``): ``ERASER_REPRO_SHOTS``,
+``ERASER_REPRO_BATCH``, ``ERASER_REPRO_SEED``.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core.policies import make_policy
+from repro.experiments.memory import MemoryExperiment
+
+POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
+DISTANCE = 5
+CYCLES = 2
+
+
+def _time_run(policy_name, engine, shots, seed, batch_size=None):
+    experiment = MemoryExperiment(
+        distance=DISTANCE,
+        policy=make_policy(policy_name),
+        cycles=CYCLES,
+        seed=seed,
+        engine=engine,
+        batch_size=batch_size,
+    )
+    start = time.perf_counter()
+    result = experiment.run(shots)
+    return time.perf_counter() - start, result
+
+
+def test_batched_vs_scalar_speedup(shots, seed, batch_size):
+    rows = []
+    speedups = {}
+    for policy_name in POLICIES:
+        scalar_time, scalar_result = _time_run(policy_name, "scalar", shots, seed)
+        batched_time, batched_result = _time_run(
+            policy_name, "batched", shots, seed, batch_size
+        )
+        speedups[policy_name] = scalar_time / batched_time
+        rows.append(
+            f"{policy_name:>12s}  scalar {scalar_time:7.2f}s  batched {batched_time:7.2f}s"
+            f"  speedup {speedups[policy_name]:5.2f}x"
+            f"  LER {scalar_result.logical_error_rate:.3f}/{batched_result.logical_error_rate:.3f}"
+        )
+    emit(
+        f"Batched vs scalar engine, d={DISTANCE}, {CYCLES * DISTANCE} rounds, {shots} shots",
+        "\n".join(rows),
+    )
+    # Regression guard: batching must keep a clear advantage at default shot
+    # counts (the >= 3x acceptance target is checked at 200 shots; the bound
+    # here is looser so CI noise cannot flake the suite).
+    if shots >= 100:
+        best = max(speedups.values())
+        assert best >= 1.5, f"batched engine lost its edge: {speedups}"

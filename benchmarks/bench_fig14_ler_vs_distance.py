@@ -15,7 +15,7 @@ from repro.experiments.sweep import compare_policies
 POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
 
 
-def _run(distances, shots, seed):
+def _run(distances, shots, seed, engine="auto", batch_size=None):
     return compare_policies(
         distances=distances,
         policies=POLICIES,
@@ -23,11 +23,15 @@ def _run(distances, shots, seed):
         cycles=10,
         shots=shots,
         seed=seed,
+        engine=engine,
+        batch_size=batch_size,
     )
 
 
-def test_fig14_ler_vs_distance(benchmark, shots, distances, seed):
-    sweep = benchmark.pedantic(_run, args=(distances, shots, seed), iterations=1, rounds=1)
+def test_fig14_ler_vs_distance(benchmark, shots, distances, seed, engine, batch_size):
+    sweep = benchmark.pedantic(
+        _run, args=(distances, shots, seed, engine, batch_size), iterations=1, rounds=1
+    )
     emit(
         f"Figure 14: LER vs distance, p=1e-3, 10 cycles, {shots} shots/point",
         sweep.format_table() + "\n\n" + series_table(sweep.ler_table(), x_label="distance"),

@@ -7,6 +7,8 @@ to laptop budgets; two environment variables let you trade time for precision:
 
 * ``ERASER_REPRO_SHOTS`` — shots per configuration (default 200).
 * ``ERASER_REPRO_MAX_DISTANCE`` — largest code distance swept (default 5).
+* ``ERASER_REPRO_ENGINE`` — Monte-Carlo engine (``auto``/``batched``/``scalar``).
+* ``ERASER_REPRO_BATCH`` — shots per simulator batch (0 = engine default).
 """
 
 import os
@@ -41,6 +43,20 @@ def distances(max_distance) -> list:
 @pytest.fixture(scope="session")
 def seed() -> int:
     return _int_env("ERASER_REPRO_SEED", 20231028)
+
+
+@pytest.fixture(scope="session")
+def engine() -> str:
+    """Monte-Carlo engine driving the sweeps (auto = batched when possible)."""
+    value = os.environ.get("ERASER_REPRO_ENGINE", "auto").strip().lower()
+    return value if value in ("auto", "batched", "scalar") else "auto"
+
+
+@pytest.fixture(scope="session")
+def batch_size():
+    """Shots per simulator batch; ``None`` uses the engine default."""
+    value = _int_env("ERASER_REPRO_BATCH", 0)
+    return value if value > 0 else None
 
 
 def emit(title: str, body: str) -> None:

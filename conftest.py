@@ -1,0 +1,38 @@
+"""Repository-wide pytest configuration: test tiers.
+
+Statistical-equivalence tests come in two tiers.  The cheap tier runs by
+default and keeps the suite fast; the deep tier uses high shot counts for
+tight binomial bounds and only runs on demand:
+
+* ``pytest --runslow`` — run everything, including ``@pytest.mark.slow``;
+* ``pytest -m slow --runslow`` — run only the deep tier;
+* ``pytest -m "not slow"`` — explicitly deselect the deep tier (equivalent
+  to the default behaviour, where slow tests are collected but skipped).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (deep statistical-equivalence tier)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: deep statistical tier (high shot counts); skipped unless --runslow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="deep tier: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

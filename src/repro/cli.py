@@ -52,6 +52,18 @@ def _add_common_sweep_args(parser: argparse.ArgumentParser) -> None:
         default="remain",
         help="Leakage transport model (main text vs Appendix A.1).",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "batched", "scalar"],
+        default="auto",
+        help="Monte-Carlo engine: vectorised batched shots or the scalar loop.",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="Shots simulated together per batch (batched engine only).",
+    )
 
 
 def _transport(name: str) -> LeakageTransportModel:
@@ -67,6 +79,8 @@ def _cmd_ler(args: argparse.Namespace) -> int:
         shots=args.shots,
         transport_model=_transport(args.transport),
         seed=args.seed,
+        engine=args.engine,
+        batch_size=args.batch_size,
     )
     print(sweep.format_table())
     print()
@@ -83,6 +97,8 @@ def _cmd_lpr(args: argparse.Namespace) -> int:
         shots=args.shots,
         transport_model=_transport(args.transport),
         seed=args.seed,
+        engine=args.engine,
+        batch_size=args.batch_size,
     )
     headers = ["round"] + list(series.keys())
     rows = []
@@ -102,6 +118,8 @@ def _cmd_speculation(args: argparse.Namespace) -> int:
         shots=args.shots,
         decode=False,
         seed=args.seed,
+        engine=args.engine,
+        batch_size=args.batch_size,
     )
     rows = []
     for result in sweep:
@@ -175,6 +193,8 @@ def _cmd_dqlr(args: argparse.Namespace) -> int:
         cycles=args.cycles,
         shots=args.shots,
         seed=args.seed,
+        engine=args.engine,
+        batch_size=args.batch_size,
     )
     print(sweep.format_table())
     return 0

@@ -61,21 +61,29 @@ class SwapLookupTable:
         self.candidates = candidates
 
     def _primary_matching(self) -> Dict[int, int]:
-        """Maximum bipartite matching: data qubit -> stabilizer index."""
+        """Maximum bipartite matching: data qubit -> stabilizer index.
+
+        Nodes are labelled with small integers (stabilizers offset past the
+        data qubits) rather than ``("data", q)`` tuples: string hashing is
+        randomised per process, and Hopcroft-Karp iterates over node sets, so
+        string-bearing labels would make the matching — and with it every
+        seeded experiment downstream — depend on ``PYTHONHASHSEED``.
+        """
+        offset = self.code.num_data_qubits
         graph = nx.Graph()
-        data_nodes = {q: ("data", q) for q in self.code.data_indices}
-        stab_nodes = {s.index: ("stab", s.index) for s in self.code.stabilizers}
-        graph.add_nodes_from(data_nodes.values(), bipartite=0)
-        graph.add_nodes_from(stab_nodes.values(), bipartite=1)
+        data_nodes = list(self.code.data_indices)
+        stab_nodes = [offset + s.index for s in self.code.stabilizers]
+        graph.add_nodes_from(data_nodes, bipartite=0)
+        graph.add_nodes_from(stab_nodes, bipartite=1)
         for data_qubit in self.code.data_indices:
             for stab in self.code.stabilizer_neighbors(data_qubit):
-                graph.add_edge(data_nodes[data_qubit], stab_nodes[stab])
-        raw = nx.bipartite.maximum_matching(graph, top_nodes=list(data_nodes.values()))
-        matching: Dict[int, int] = {}
-        for node, partner in raw.items():
-            if node[0] == "data":
-                matching[node[1]] = partner[1]
-        return matching
+                graph.add_edge(data_qubit, offset + stab)
+        raw = nx.bipartite.maximum_matching(graph, top_nodes=data_nodes)
+        return {
+            node: partner - offset
+            for node, partner in raw.items()
+            if node < offset
+        }
 
     def primary(self, data_qubit: int) -> int:
         """Primary SWAP partner (stabilizer index) of a data qubit."""
@@ -138,14 +146,15 @@ class DynamicLrcInsertion:
         Used by tests to check the greedy lookup-table heuristic against the
         true maximum matching.
         """
+        offset = self.lookup_table.code.num_data_qubits
         graph = nx.Graph()
-        for data_qubit in set(requests):
+        for data_qubit in sorted(set(requests)):
             for stab in self.lookup_table.code.stabilizer_neighbors(data_qubit):
-                graph.add_edge(("data", data_qubit), ("stab", stab))
+                graph.add_edge(data_qubit, offset + stab)
         if graph.number_of_edges() == 0:
             return 0
         matching = nx.bipartite.maximum_matching(
             graph,
-            top_nodes=[n for n in graph.nodes if n[0] == "data"],
+            top_nodes=[n for n in graph.nodes if n < offset],
         )
-        return sum(1 for node in matching if node[0] == "data")
+        return sum(1 for node in matching if node < offset)

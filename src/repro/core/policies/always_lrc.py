@@ -14,13 +14,14 @@ from typing import Dict
 import numpy as np
 
 from repro.core.dli import SwapLookupTable
-from repro.core.policies.base import LrcPolicy
+from repro.core.policies.base import LrcPolicy, assignment_to_row
 
 
 class AlwaysLrcPolicy(LrcPolicy):
     """Schedule LRCs for (almost) all data qubits every alternate round."""
 
     name = "always-lrc"
+    supports_batch = True
 
     def __init__(self, start_with_lrc_round: bool = False):
         super().__init__()
@@ -59,3 +60,17 @@ class AlwaysLrcPolicy(LrcPolicy):
         true_leaked_data: np.ndarray,
     ) -> Dict[int, int]:
         return self._assignment_for_round(round_index + 1)
+
+    def decide_batch(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: np.ndarray,
+    ) -> np.ndarray:
+        # The static schedule is identical across shots: broadcast one row.
+        row = assignment_to_row(
+            self._assignment_for_round(round_index + 1), self.code.num_data_qubits
+        )
+        return np.tile(row, (detection_events.shape[0], 1))

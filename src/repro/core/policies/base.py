@@ -10,6 +10,26 @@ import numpy as np
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.sim.rng import RngLike, make_rng
 
+#: Sentinel stabilizer index meaning "no LRC" in batched assignment arrays.
+NO_LRC = -1
+
+
+def assignment_to_row(assignment: Dict[int, int], num_data_qubits: int) -> np.ndarray:
+    """Encode a ``{data qubit: stabilizer}`` assignment as a dense int row.
+
+    Entry ``row[q]`` holds the stabilizer index data qubit ``q`` swaps with,
+    or :data:`NO_LRC` when no LRC is scheduled for it.
+    """
+    row = np.full(num_data_qubits, NO_LRC, dtype=np.int16)
+    for data_qubit, stab in assignment.items():
+        row[data_qubit] = stab
+    return row
+
+
+def row_to_assignment(row: np.ndarray) -> Dict[int, int]:
+    """Decode a dense assignment row back into a ``{data qubit: stabilizer}`` dict."""
+    return {int(q): int(row[q]) for q in np.flatnonzero(row >= 0)}
+
 
 class LrcPolicy(abc.ABC):
     """Decides which data qubits receive leakage-removal operations each round.
@@ -23,6 +43,13 @@ class LrcPolicy(abc.ABC):
        the multi-level readout labels, and — for the oracle policy only — the
        ground-truth data-qubit leakage.  It returns the assignment for the
        *next* round as a mapping from data qubit to stabilizer index.
+
+    Policies that set :attr:`supports_batch` additionally implement the batched
+    protocol used by the vectorised Monte-Carlo engine: :meth:`start_batch`
+    replaces :meth:`start_shot`, and :meth:`decide_batch` consumes
+    ``(shots, num_stabilizers)`` syndrome/label arrays and returns a
+    ``(shots, num_data_qubits)`` int array of per-shot assignments
+    (:data:`NO_LRC` where no LRC is scheduled).
     """
 
     #: Human-readable policy name used in result tables.
@@ -33,6 +60,9 @@ class LrcPolicy(abc.ABC):
 
     #: Whether this policy consumes multi-level readout labels.
     uses_multilevel_readout: bool = False
+
+    #: Whether this policy implements the batched decision protocol.
+    supports_batch: bool = False
 
     def __init__(self) -> None:
         self.code: Optional[RotatedSurfaceCode] = None
@@ -54,6 +84,49 @@ class LrcPolicy(abc.ABC):
     def initial_assignment(self) -> Dict[int, int]:
         """LRC assignment for the very first round (default: none)."""
         return {}
+
+    # ------------------------------------------------------------------
+    # Batched protocol (policies with ``supports_batch = True``)
+    # ------------------------------------------------------------------
+    def start_batch(self, shots: int) -> None:
+        """Reset per-shot state for a batch of ``shots`` Monte-Carlo shots."""
+        if not self.supports_batch:
+            raise NotImplementedError(
+                f"policy {self.name!r} does not support batched execution"
+            )
+
+    def initial_assignment_batch(self, shots: int) -> np.ndarray:
+        """Per-shot assignment rows for round 0 (default: broadcast scalar)."""
+        row = assignment_to_row(self.initial_assignment(), self.code.num_data_qubits)
+        return np.tile(row, (shots, 1))
+
+    def decide_batch(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Return per-shot assignment rows for the next round.
+
+        Args:
+            round_index: Index of the round that just completed (0-based).
+            detection_events: ``(shots, num_stabilizers)`` boolean array; True
+                where the parity check flipped relative to the previous round.
+            syndrome: ``(shots, num_stabilizers)`` raw measured parity bits.
+            readout_labels: ``(shots, num_stabilizers)`` multi-level labels.
+            true_leaked_data: ``(shots, num_data_qubits)`` ground-truth leakage
+                flags, or ``None`` unless :attr:`uses_ground_truth` is set.
+
+        Returns:
+            ``(shots, num_data_qubits)`` int16 array; entry ``[s, q]`` is the
+            stabilizer index whose parity qubit data qubit ``q`` swaps with in
+            shot ``s``, or :data:`NO_LRC`.
+        """
+        raise NotImplementedError(
+            f"policy {self.name!r} does not support batched execution"
+        )
 
     @abc.abstractmethod
     def decide(

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.dli import DynamicLrcInsertion, SwapLookupTable
 from repro.core.lsb import LeakageSpeculationBlock
-from repro.core.policies.base import LrcPolicy
+from repro.core.policies.base import NO_LRC, LrcPolicy
 
 
 class EraserPolicy(LrcPolicy):
@@ -40,6 +40,7 @@ class EraserPolicy(LrcPolicy):
 
     name = "eraser"
     uses_multilevel_readout = False
+    supports_batch = True
 
     def __init__(
         self,
@@ -54,6 +55,10 @@ class EraserPolicy(LrcPolicy):
         self._lsb: LeakageSpeculationBlock = None
         self._dli: DynamicLrcInsertion = None
         self._last_assignment: Dict[int, int] = {}
+        # Batched LSB state: one LTT / PUTT / had-an-LRC row per shot.
+        self._batch_ltt: np.ndarray = None
+        self._batch_putt: np.ndarray = None
+        self._batch_had_lrc: np.ndarray = None
 
     def _on_bind(self) -> None:
         self._lsb = LeakageSpeculationBlock(
@@ -64,11 +69,30 @@ class EraserPolicy(LrcPolicy):
         table = SwapLookupTable(self.code, num_backups=self._num_backups)
         self._dli = DynamicLrcInsertion(table)
         self._last_assignment = {}
+        # Data-qubit x stabilizer adjacency, used to evaluate the LSB rule for
+        # a whole batch with one matmul; the neighbour lists and per-qubit
+        # flip thresholds are the LSB's own (it is the canonical definition of
+        # the speculation rule), so both engines share one source of truth.
+        n_data = self.code.num_data_qubits
+        n_stabs = self.code.num_stabilizers
+        adjacency = np.zeros((n_data, n_stabs), dtype=np.uint8)
+        for data_qubit in self.code.data_indices:
+            adjacency[data_qubit, self._lsb._neighbors[data_qubit]] = 1
+        self._adjacency_t = adjacency.T.copy()
+        self._thresholds = self._lsb._thresholds
+        self._batch_ltt = None
+        self._batch_putt = None
+        self._batch_had_lrc = None
 
     def start_shot(self) -> None:
         if self._lsb is not None:
             self._lsb.reset()
         self._last_assignment = {}
+
+    def start_batch(self, shots: int) -> None:
+        self._batch_ltt = np.zeros((shots, self.code.num_data_qubits), dtype=bool)
+        self._batch_putt = np.zeros((shots, self.code.num_stabilizers), dtype=bool)
+        self._batch_had_lrc = np.zeros((shots, self.code.num_data_qubits), dtype=bool)
 
     @property
     def speculation_block(self) -> LeakageSpeculationBlock:
@@ -95,6 +119,50 @@ class EraserPolicy(LrcPolicy):
         self._lsb.commit_assignment(assignment)
         self._last_assignment = assignment
         return assignment
+
+    def decide_batch(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: np.ndarray,
+    ) -> np.ndarray:
+        events = np.asarray(detection_events, dtype=bool)
+        shots = events.shape[0]
+        had_lrc = self._batch_had_lrc
+        # LSB observe step, all shots at once: qubits whose LRC just executed
+        # are cleared from the LTT and excluded from this round's speculation;
+        # everything else is marked when enough neighbouring checks flipped.
+        self._batch_ltt &= ~had_lrc
+        flip_counts = events.astype(np.uint8) @ self._adjacency_t
+        mark = flip_counts >= self._thresholds[np.newaxis, :]
+        if self._use_multilevel and readout_labels is not None:
+            leaked_checks = np.asarray(readout_labels) == self._lsb.leaked_label
+            mark |= (leaked_checks.astype(np.uint8) @ self._adjacency_t) > 0
+        self._batch_ltt |= mark & ~had_lrc
+
+        # DLI step: the greedy lookup-table pairing is inherently sequential
+        # per shot, but speculation fires rarely, so only the shots with a
+        # non-empty candidate list pay for it.
+        assign = np.full((shots, self.code.num_data_qubits), NO_LRC, dtype=np.int16)
+        for shot in np.flatnonzero(self._batch_ltt.any(axis=1)):
+            assignment = self._dli.assign(
+                (int(q) for q in np.flatnonzero(self._batch_ltt[shot])),
+                blocked_stabilizers=np.flatnonzero(self._batch_putt[shot]),
+            )
+            for data_qubit, stab in assignment.items():
+                assign[shot, data_qubit] = stab
+
+        # Commit step: assigned qubits leave the LTT, their parity qubits are
+        # blocked for one round, and they count as "had an LRC" next round.
+        assigned = assign >= 0
+        self._batch_ltt &= ~assigned
+        self._batch_putt[:] = False
+        rows, qubits = np.nonzero(assigned)
+        self._batch_putt[rows, assign[rows, qubits]] = True
+        self._batch_had_lrc = assigned
+        return assign
 
 
 class EraserMPolicy(EraserPolicy):

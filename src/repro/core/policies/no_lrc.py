@@ -6,13 +6,14 @@ from typing import Dict
 
 import numpy as np
 
-from repro.core.policies.base import LrcPolicy
+from repro.core.policies.base import NO_LRC, LrcPolicy
 
 
 class NoLrcPolicy(LrcPolicy):
     """Never insert LRCs; parity qubits are still reset by normal readout."""
 
     name = "no-lrc"
+    supports_batch = True
 
     def decide(
         self,
@@ -23,3 +24,14 @@ class NoLrcPolicy(LrcPolicy):
         true_leaked_data: np.ndarray,
     ) -> Dict[int, int]:
         return {}
+
+    def decide_batch(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: np.ndarray,
+    ) -> np.ndarray:
+        shots = detection_events.shape[0]
+        return np.full((shots, self.code.num_data_qubits), NO_LRC, dtype=np.int16)

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.dli import DynamicLrcInsertion, SwapLookupTable
 from repro.core.lsb import ParityUsageTrackingTable
-from repro.core.policies.base import LrcPolicy
+from repro.core.policies.base import NO_LRC, LrcPolicy
 
 
 class OptimalLrcPolicy(LrcPolicy):
@@ -22,21 +22,27 @@ class OptimalLrcPolicy(LrcPolicy):
 
     name = "optimal"
     uses_ground_truth = True
+    supports_batch = True
 
     def __init__(self, num_backups: int = None):
         super().__init__()
         self._num_backups = num_backups
         self._dli: DynamicLrcInsertion = None
         self._putt: ParityUsageTrackingTable = None
+        self._putt_batch: np.ndarray = None
 
     def _on_bind(self) -> None:
         table = SwapLookupTable(self.code, num_backups=self._num_backups)
         self._dli = DynamicLrcInsertion(table)
         self._putt = ParityUsageTrackingTable(self.code.num_stabilizers)
+        self._putt_batch = None
 
     def start_shot(self) -> None:
         if self._putt is not None:
             self._putt.clear()
+
+    def start_batch(self, shots: int) -> None:
+        self._putt_batch = np.zeros((shots, self.code.num_stabilizers), dtype=bool)
 
     def decide(
         self,
@@ -53,3 +59,28 @@ class OptimalLrcPolicy(LrcPolicy):
         )
         self._putt.record_round(assignment.values())
         return assignment
+
+    def decide_batch(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: np.ndarray,
+    ) -> np.ndarray:
+        shots = detection_events.shape[0]
+        assign = np.full((shots, self.code.num_data_qubits), NO_LRC, dtype=np.int16)
+        leaked = np.asarray(true_leaked_data, dtype=bool)
+        # Leakage is rare at realistic rates; only shots with at least one
+        # leaked data qubit need the greedy lookup-table pairing.
+        for shot in np.flatnonzero(leaked.any(axis=1)):
+            assignment = self._dli.assign(
+                (int(q) for q in np.flatnonzero(leaked[shot])),
+                blocked_stabilizers=np.flatnonzero(self._putt_batch[shot]),
+            )
+            for data_qubit, stab in assignment.items():
+                assign[shot, data_qubit] = stab
+        self._putt_batch[:] = False
+        rows, qubits = np.nonzero(assign >= 0)
+        self._putt_batch[rows, assign[rows, qubits]] = True
+        return assign

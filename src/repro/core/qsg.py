@@ -102,6 +102,7 @@ class QecScheduleGenerator:
             dtype=np.int64,
         )
         self._cnot_layers = self._build_cnot_layers()
+        self._prefix_ops: List[Operation] = None
 
     # ------------------------------------------------------------------
     # Static structure
@@ -130,6 +131,27 @@ class QecScheduleGenerator:
     # ------------------------------------------------------------------
     # Round construction
     # ------------------------------------------------------------------
+    def round_prefix(self) -> List[Operation]:
+        """The assignment-independent head of every round.
+
+        Start-of-round noise, the X-ancilla Hadamard sandwich, and the four
+        CNOT extraction layers are identical for every round and every shot,
+        so they are built once and shared; operations are immutable index
+        arrays, which makes the sharing safe.  The batched experiment harness
+        exploits this by executing the prefix over a whole batch at once even
+        when the rounds' LRC tails differ per shot.
+        """
+        if self._prefix_ops is None:
+            ops: List[Operation] = [RoundNoise(self._data)]
+            if self._x_ancillas.size:
+                ops.append(Hadamard(self._x_ancillas))
+            for controls, targets in self._cnot_layers:
+                ops.append(Cnot(controls, targets))
+            if self._x_ancillas.size:
+                ops.append(Hadamard(self._x_ancillas))
+            self._prefix_ops = ops
+        return self._prefix_ops
+
     def build_round(
         self, assignment: Dict[int, int] = None
     ) -> Tuple[List[Operation], RoundLayout]:
@@ -144,16 +166,21 @@ class QecScheduleGenerator:
             Tuple of the operation list and the :class:`RoundLayout` describing
             how measurement records map back to stabilizer indices.
         """
+        tail, layout = self.build_round_tail(assignment)
+        return list(self.round_prefix()) + tail, layout
+
+    def build_round_tail(
+        self, assignment: Dict[int, int] = None
+    ) -> Tuple[List[Operation], RoundLayout]:
+        """Build only the assignment-dependent tail of one round.
+
+        The tail holds the LRC SWAPs (or DQLR LeakageISWAPs) and the
+        measurement operations; prepend :meth:`round_prefix` to obtain the
+        full round.
+        """
         assignment = dict(assignment or {})
         self._validate_assignment(assignment)
-        ops: List[Operation] = [RoundNoise(self._data)]
-        if self._x_ancillas.size:
-            ops.append(Hadamard(self._x_ancillas))
-        for controls, targets in self._cnot_layers:
-            ops.append(Cnot(controls, targets))
-        if self._x_ancillas.size:
-            ops.append(Hadamard(self._x_ancillas))
-
+        ops: List[Operation] = []
         if self.protocol == PROTOCOL_SWAP:
             layout = self._finish_swap_round(ops, assignment)
         else:

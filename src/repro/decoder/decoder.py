@@ -88,14 +88,63 @@ class SurfaceCodeDecoder:
             detectors[self.num_rounds, pos] = bool(recomputed ^ int(local[-1, pos]))
         return detectors
 
+    def _check_support_matrix(self) -> np.ndarray:
+        """``(num_checks, num_data_qubits)`` incidence matrix of the checks."""
+        cached = getattr(self, "_support_matrix", None)
+        if cached is None:
+            checks = list(self.graph.checks)
+            cached = np.zeros((len(checks), self.code.num_data_qubits), dtype=np.uint8)
+            for pos, stab_index in enumerate(checks):
+                stab = self.code.stabilizers[stab_index]
+                cached[pos, list(stab.data_qubits)] = 1
+            self._support_matrix = cached
+        return cached
+
+    def build_detectors_batch(
+        self,
+        syndrome_histories: np.ndarray,
+        final_data_bits: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`build_detectors` over a batch of shots.
+
+        Args:
+            syndrome_histories: ``(shots, num_rounds, num_stabilizers)`` raw
+                parity-check bits.
+            final_data_bits: ``(shots, num_data_qubits)`` final transversal
+                data measurements.
+
+        Returns:
+            Boolean array of shape ``(shots, num_rounds + 1, num_checks)``.
+        """
+        histories = np.asarray(syndrome_histories, dtype=np.uint8)
+        shots = histories.shape[0]
+        if histories.shape[1:] != (self.num_rounds, self.code.num_stabilizers):
+            raise ValueError(
+                "syndrome_histories must have shape "
+                f"(shots, {self.num_rounds}, {self.code.num_stabilizers})"
+            )
+        data_bits = np.asarray(final_data_bits, dtype=np.uint8)
+        checks = list(self.graph.checks)
+        local = histories[:, :, checks]
+        detectors = np.zeros((shots, self.num_rounds + 1, len(checks)), dtype=bool)
+        detectors[:, 0] = local[:, 0].astype(bool)
+        detectors[:, 1 : self.num_rounds] = (local[:, 1:] ^ local[:, :-1]).astype(bool)
+        # Final layer: compare each check value recomputed from the data
+        # measurement with the last round's measured check.
+        recomputed = (data_bits @ self._check_support_matrix().T) % 2
+        detectors[:, self.num_rounds] = (recomputed ^ local[:, -1]).astype(bool)
+        return detectors
+
+    def _logical_support(self) -> list:
+        """Data-qubit support of the logical observable being decoded."""
+        if self.stabilizer_type is StabilizerType.Z:
+            return list(self.code.logical_z_support)
+        return list(self.code.logical_x_support)
+
     def observed_logical_flip(self, final_data_bits: np.ndarray) -> int:
         """Raw logical-observable flip implied by the final data measurement."""
         data_bits = np.asarray(final_data_bits, dtype=np.uint8)
-        if self.stabilizer_type is StabilizerType.Z:
-            support = self.code.logical_z_support
-        else:
-            support = self.code.logical_x_support
-        return int(data_bits[list(support)].sum() % 2)
+        return int(data_bits[self._logical_support()].sum() % 2)
 
     # ------------------------------------------------------------------
     # Decoding
@@ -112,3 +161,34 @@ class SurfaceCodeDecoder:
         correction = self.predict_correction(detectors)
         observed = self.observed_logical_flip(final_data_bits)
         return bool(observed ^ correction)
+
+    def decode_batch(
+        self, syndrome_histories: np.ndarray, final_data_bits: np.ndarray
+    ) -> np.ndarray:
+        """Decode a whole batch of shots; True where a logical error survived.
+
+        Detector construction and the observed-flip computation are fully
+        vectorised; the matching engine itself still runs per shot (minimum
+        weight matching is a sequential algorithm), but shots without any
+        detection events skip it entirely.
+
+        Args:
+            syndrome_histories: ``(shots, num_rounds, num_stabilizers)`` raw
+                parity-check bits.
+            final_data_bits: ``(shots, num_data_qubits)`` final transversal
+                data measurements.
+
+        Returns:
+            ``(shots,)`` boolean array of post-correction logical errors.
+        """
+        detectors = self.build_detectors_batch(syndrome_histories, final_data_bits)
+        data_bits = np.asarray(final_data_bits, dtype=np.uint8)
+        observed = data_bits[:, self._logical_support()].sum(axis=1) % 2
+        errors = np.zeros(detectors.shape[0], dtype=bool)
+        nonempty = detectors.any(axis=(1, 2))
+        for shot in np.flatnonzero(nonempty):
+            correction = self.predict_correction(detectors[shot])
+            errors[shot] = bool(int(observed[shot]) ^ correction)
+        # Shots with an empty syndrome get the identity correction.
+        errors[~nonempty] = observed[~nonempty].astype(bool)
+        return errors

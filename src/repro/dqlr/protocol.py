@@ -25,7 +25,7 @@ import numpy as np
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.core.dli import SwapLookupTable
 from repro.core.policies import make_policy
-from repro.core.policies.base import LrcPolicy
+from repro.core.policies.base import LrcPolicy, assignment_to_row
 from repro.core.qsg import PROTOCOL_DQLR
 from repro.experiments.memory import MemoryExperiment
 from repro.experiments.results import PolicySweepResult
@@ -43,6 +43,7 @@ class DqlrBaselinePolicy(LrcPolicy):
     """
 
     name = "dqlr"
+    supports_batch = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -80,6 +81,20 @@ class DqlrBaselinePolicy(LrcPolicy):
     ) -> Dict[int, int]:
         return self._assignment_for_round(round_index + 1)
 
+    def decide_batch(
+        self,
+        round_index: int,
+        detection_events: np.ndarray,
+        syndrome: np.ndarray,
+        readout_labels: np.ndarray,
+        true_leaked_data: np.ndarray,
+    ) -> np.ndarray:
+        # The static schedule is identical across shots: broadcast one row.
+        row = assignment_to_row(
+            self._assignment_for_round(round_index + 1), self.code.num_data_qubits
+        )
+        return np.tile(row, (detection_events.shape[0], 1))
+
 
 def dqlr_policy_names() -> Sequence[str]:
     """The four policies compared in Figures 20 and 21."""
@@ -101,6 +116,8 @@ def run_dqlr_comparison(
     decode: bool = True,
     decoder_method: str = "auto",
     seed: RngLike = None,
+    engine: str = "auto",
+    batch_size: int = None,
 ) -> PolicySweepResult:
     """Sweep DQLR-based leakage removal across distances and policies.
 
@@ -127,6 +144,8 @@ def run_dqlr_comparison(
                 decode=decode,
                 decoder_method=decoder_method,
                 seed=rng,
+                engine=engine,
+                batch_size=batch_size,
             )
             result = experiment.run(shots)
             result.metadata["protocol"] = PROTOCOL_DQLR

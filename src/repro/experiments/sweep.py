@@ -52,6 +52,8 @@ def run_single(
     decoder_method: str = "auto",
     seed: RngLike = None,
     rounds: Optional[int] = None,
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
 ) -> MemoryExperimentResult:
     """Run one (distance, policy) configuration and return its result."""
     code = RotatedSurfaceCode(distance)
@@ -68,6 +70,8 @@ def run_single(
         decode=decode,
         decoder_method=decoder_method,
         seed=seed,
+        engine=engine,
+        batch_size=batch_size,
     )
     return experiment.run(shots)
 
@@ -84,6 +88,8 @@ def compare_policies(
     decode: bool = True,
     decoder_method: str = "auto",
     seed: RngLike = None,
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
 ) -> PolicySweepResult:
     """Sweep policies across code distances (the shape behind Figures 14-17, 20)."""
     rng = make_rng(seed)
@@ -102,6 +108,8 @@ def compare_policies(
                 decode=decode,
                 decoder_method=decoder_method,
                 seed=rng,
+                engine=engine,
+                batch_size=batch_size,
             )
             sweep.add(result)
     return sweep
@@ -126,6 +134,8 @@ def lpr_time_series(
     transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
     protocol: str = PROTOCOL_SWAP,
     seed: RngLike = None,
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
 ) -> Dict[str, np.ndarray]:
     """Per-round leakage population ratio per policy (Figures 5, 15, 18, 21).
 
@@ -145,6 +155,8 @@ def lpr_time_series(
             protocol=protocol,
             decode=False,
             seed=rng,
+            engine=engine,
+            batch_size=batch_size,
         )
         series[result.policy] = result.lpr_total
     return series
@@ -159,6 +171,8 @@ def ler_vs_cycles(
     leakage_enabled: bool = True,
     seed: RngLike = None,
     decoder_method: str = "auto",
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
 ) -> Dict[str, Dict[int, float]]:
     """LER as a function of the number of QEC cycles (Figures 1(c), 2(c), 6)."""
     rng = make_rng(seed)
@@ -174,6 +188,8 @@ def ler_vs_cycles(
                 leakage_enabled=leakage_enabled,
                 decoder_method=decoder_method,
                 seed=rng,
+                engine=engine,
+                batch_size=batch_size,
             )
             table.setdefault(result.policy, {})[cycles] = result.logical_error_rate
     return table

@@ -7,8 +7,30 @@ that tracks, per physical qubit, an X/Z error frame plus a leakage flag.  The
 simulator executes the lightweight circuit IR defined in
 :mod:`repro.sim.circuit` and implements the circuit-level noise and leakage
 model of Section 5.2 of the paper.
+
+Two engines share that IR:
+
+* :class:`~repro.sim.frame_simulator.LeakageFrameSimulator` — the scalar
+  reference engine; one Monte-Carlo shot per instance, frames are
+  ``(num_qubits,)`` boolean arrays.
+* :class:`~repro.sim.batched_frame_simulator.BatchedLeakageFrameSimulator` —
+  the batched engine; frames are ``(shots, num_qubits)`` arrays and every
+  operation is vectorised across the shot axis, which removes the Python
+  interpreter from the Monte-Carlo hot path.
+
+The experiment harness (:class:`~repro.experiments.memory.MemoryExperiment`)
+selects between them via its ``engine`` argument (``"auto"`` uses the batched
+engine whenever the scheduling policy supports vectorised decisions, which
+all built-in policies do) and sizes the batches with ``batch_size``.  The two
+engines draw random numbers in different orders, so they are *statistically*
+— not bitwise — equivalent; noise-free circuits produce exactly equal output
+on both.  ``tests/test_batched_equivalence.py`` enforces this contract.
 """
 
+from repro.sim.batched_frame_simulator import (
+    BatchedLeakageFrameSimulator,
+    BatchedMeasurementRecord,
+)
 from repro.sim.circuit import (
     Cnot,
     Hadamard,
@@ -35,5 +57,7 @@ __all__ = [
     "LeakISwap",
     "LeakageFrameSimulator",
     "MeasurementRecord",
+    "BatchedLeakageFrameSimulator",
+    "BatchedMeasurementRecord",
     "make_rng",
 ]

@@ -252,11 +252,28 @@ class LeakageFrameSimulator:
         self._inject_leakage(targets, self.leakage.p_leak_gate)
 
     def _measure(self, qubits: np.ndarray, meta: tuple) -> MeasurementRecord:
+        """Measure the given qubits in the Z basis.
+
+        Error-application order (pinned by ``tests/test_frame_simulator.py``;
+        the batched engine must match it exactly):
+
+        1. the raw bit is the X-frame flip relative to the reference;
+        2. the classical measurement error flips it with ``p_measure``;
+        3. a leaked qubit's bit is then *overwritten* with a uniformly random
+           outcome (the two-level discriminator cannot classify |L>), so the
+           classical ``p_measure`` flip is **not** re-applied on top of it —
+           leaked-qubit bits are uniform regardless of ``p_measure``;
+        4. multi-level labels are derived from the post-overwrite bits (with
+           |L> for truly leaked qubits) and then suffer the ``10p``
+           classification error;
+        5. measurement collapses the phase frame of the measured qubits.
+        """
         true_leaked = self.leaked[qubits].copy()
         bits = self.x[qubits].copy()
         # Classical measurement error.
         bits ^= self._bernoulli(self.noise.p_measure, qubits.size)
-        # A two-level discriminator classifies a leaked qubit randomly.
+        # A two-level discriminator classifies a leaked qubit randomly; this
+        # overwrites (never XORs with) the classical-error bit from above.
         if true_leaked.any():
             random_bits = self.rng.random(int(true_leaked.sum())) < 0.5
             bits[true_leaked] = random_bits

@@ -15,6 +15,7 @@ from repro.sim.circuit import (
     Reset,
     RoundNoise,
 )
+from repro.sim.batched_frame_simulator import BatchedLeakageFrameSimulator
 from repro.sim.frame_simulator import LABEL_LEAKED, LeakageFrameSimulator
 
 
@@ -159,6 +160,89 @@ class TestLeakageMechanics:
         sim.leaked[0] = True
         records = sim.run([Measure([0], key="m")])
         assert records["m"].labels[0] == LABEL_LEAKED
+
+
+class TestMeasureErrorOrder:
+    """Pin the order in which ``_measure`` applies its error mechanisms.
+
+    The documented contract (see ``LeakageFrameSimulator._measure``): the
+    classical ``p_measure`` flip is applied first and the uniformly random
+    leaked-qubit outcome then *overwrites* it — the classical flip is not
+    re-applied on top.  The batched engine must implement the same order, so
+    the identical assertions run against both.
+    """
+
+    def _measure_many(self, leaked, trials=600, seed=13):
+        """Per-trial measured bit of qubit 0 with p_measure == 1."""
+        sim = LeakageFrameSimulator(
+            1,
+            NoiseParams.noiseless().with_overrides(p_measure=1.0),
+            LeakageModel.disabled(),
+            rng=seed,
+        )
+        bits = []
+        for _ in range(trials):
+            sim.x[0] = False
+            sim.leaked[0] = leaked
+            bits.append(int(sim.run([Measure([0], key="m")])["m"].bits[0]))
+        return bits
+
+    def test_unleaked_bit_is_deterministically_flipped(self):
+        """With p_measure=1 and x=0 an unleaked qubit always reads 1."""
+        assert set(self._measure_many(leaked=False)) == {1}
+
+    def test_leaked_bit_is_uniform_despite_certain_flip(self):
+        """The random leaked outcome overwrites the classical flip entirely.
+
+        If the flip were re-applied after the overwrite, p_measure=1 would
+        turn the uniform outcome into its complement — still uniform — but if
+        the overwrite were skipped, every read would be 1.  The mean pins the
+        overwrite; the regression below pins that no second flip happens.
+        """
+        bits = self._measure_many(leaked=True)
+        mean = sum(bits) / len(bits)
+        assert 0.4 < mean < 0.6
+
+    def test_overwrite_not_xored_with_classical_flip(self):
+        """The leaked outcome must equal the raw uniform draw, not its XOR.
+
+        Replays the simulator's own random stream: with a shared seed, the
+        draws are [p_measure flip], [leaked random bit] in that order, so the
+        recorded bit must equal the second draw exactly (overwrite), not the
+        XOR of both (re-application).
+        """
+        seed = 99
+        sim = LeakageFrameSimulator(
+            1,
+            NoiseParams.noiseless().with_overrides(p_measure=0.5),
+            LeakageModel.disabled(),
+            rng=seed,
+        )
+        reference = np.random.default_rng(seed)
+        for _ in range(200):
+            sim.x[0] = False
+            sim.leaked[0] = True
+            bit = int(sim.run([Measure([0], key="m")])["m"].bits[0])
+            flip = bool(reference.random(1)[0] < 0.5)  # consumed, then discarded
+            random_outcome = bool(reference.random(1)[0] < 0.5)
+            assert bit == int(random_outcome), (
+                "leaked-qubit bit must be the raw uniform draw; the classical "
+                f"p_measure flip (={flip}) must not be re-applied"
+            )
+
+    def test_batched_engine_pins_the_same_order(self):
+        noise = NoiseParams.noiseless().with_overrides(p_measure=1.0)
+        shots = 400
+        sim = BatchedLeakageFrameSimulator(
+            2, noise, LeakageModel.disabled(), shots=shots, rng=17
+        )
+        sim.leaked[:, 1] = True
+        record = sim.run([Measure([0, 1], key="m")])["m"]
+        # Unleaked qubit 0: the certain classical flip applies to every shot.
+        assert (record.bits[:, 0] == 1).all()
+        # Leaked qubit 1: uniform despite the certain flip (overwrite wins).
+        mean = record.bits[:, 1].mean()
+        assert 0.4 < mean < 0.6
 
     def test_multilevel_label_error_rate(self):
         sim = make_sim(1, seed=13)

@@ -16,7 +16,8 @@ from repro.decoder.matching import MwpmMatcher
 from repro.experiments.metrics import SpeculationCounts, binomial_stderr, wilson_interval
 from repro.noise.leakage import LeakageModel
 from repro.noise.model import NoiseParams
-from repro.sim.circuit import Cnot, Hadamard, Measure
+from repro.sim.batched_frame_simulator import BatchedLeakageFrameSimulator
+from repro.sim.circuit import Cnot, Hadamard, Measure, MeasureReset, RoundNoise
 from repro.sim.frame_simulator import LeakageFrameSimulator
 
 # Small codes are shared across examples to keep the suite fast.
@@ -176,6 +177,87 @@ class TestSimulatorProperties:
             sim.run([Cnot([0, 2, 4], [1, 3, 5]), Measure([1, 3, 5], key="m")])
         assert sim.x.dtype == bool and sim.z.dtype == bool and sim.leaked.dtype == bool
         assert sim.x.shape == (6,)
+
+
+class TestBatchedSimulatorProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        shots=st.integers(min_value=1, max_value=24),
+        p=st.floats(min_value=0.0, max_value=0.2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_measured_then_reset_qubit_is_unleaked_in_all_shots(self, seed, shots, p):
+        sim = BatchedLeakageFrameSimulator(
+            6,
+            NoiseParams.standard(p),
+            LeakageModel(p_leak_round=0.3, p_leak_gate=0.1, p_transport=0.1, p_seepage=0.0),
+            shots=shots,
+            rng=seed,
+        )
+        sim.run([RoundNoise([0, 1, 2, 3, 4, 5]), Cnot([0, 2], [1, 3])])
+        sim.run([MeasureReset([1, 3], key="m")])
+        assert not sim.leaked[:, [1, 3]].any()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        shots=st.integers(min_value=1, max_value=24),
+        rounds=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_leaked_fraction_is_a_probability_per_shot(self, seed, shots, rounds):
+        sim = BatchedLeakageFrameSimulator(
+            6,
+            NoiseParams.standard(0.05),
+            LeakageModel(p_leak_round=0.4, p_leak_gate=0.2, p_transport=0.5, p_seepage=0.1),
+            shots=shots,
+            rng=seed,
+        )
+        for _ in range(rounds):
+            sim.run([RoundNoise([0, 1, 2, 3, 4, 5]), Cnot([0, 2, 4], [1, 3, 5])])
+        for fraction in (sim.leaked_fraction(), sim.leaked_fraction([0, 5])):
+            assert fraction.shape == (shots,)
+            assert ((fraction >= 0.0) & (fraction <= 1.0)).all()
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_single_shot_batch_reproduces_scalar_record_shapes(self, seed):
+        """A batch of one carries the scalar record along its single row."""
+        ops = [
+            RoundNoise([0, 1, 2, 3]),
+            Hadamard([2]),
+            Cnot([0], [1]),
+            Measure([1, 2], key="m", meta=(7, 9)),
+        ]
+        scalar = LeakageFrameSimulator(
+            4, NoiseParams.standard(0.05), LeakageModel.standard(0.05), rng=seed
+        )
+        batched = BatchedLeakageFrameSimulator(
+            4, NoiseParams.standard(0.05), LeakageModel.standard(0.05), shots=1, rng=seed
+        )
+        scalar_record = scalar.run(ops)["m"]
+        batched_record = batched.run(ops)["m"]
+        assert batched_record.bits.shape == (1,) + scalar_record.bits.shape
+        assert batched_record.labels.shape == (1,) + scalar_record.labels.shape
+        assert batched_record.true_leaked.shape == (1,) + scalar_record.true_leaked.shape
+        assert batched_record.bits.dtype == scalar_record.bits.dtype
+        assert batched_record.labels.dtype == scalar_record.labels.dtype
+        assert batched_record.meta == scalar_record.meta
+        np.testing.assert_array_equal(batched_record.qubits, scalar_record.qubits)
+        assert batched.x.shape == (1, 4)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        shots=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_batched_frames_remain_boolean(self, seed, shots):
+        sim = BatchedLeakageFrameSimulator(
+            6, NoiseParams.standard(0.1), LeakageModel.standard(0.1), shots=shots, rng=seed
+        )
+        for _ in range(3):
+            sim.run([Cnot([0, 2, 4], [1, 3, 5]), Measure([1, 3, 5], key="m")])
+        assert sim.x.dtype == bool and sim.z.dtype == bool and sim.leaked.dtype == bool
+        assert sim.x.shape == (shots, 6)
 
 
 class TestDecoderProperties:
