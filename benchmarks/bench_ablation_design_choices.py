@@ -1,4 +1,4 @@
-"""Ablation benches for ERASER's design choices (DESIGN.md section 5).
+"""Ablation benches for ERASER's design choices (paper Section 5).
 
 Three knobs the paper motivates qualitatively are swept here:
 
@@ -12,49 +12,46 @@ Three knobs the paper motivates qualitatively are swept here:
 from conftest import emit
 
 from repro.analysis.tables import format_table
-from repro.codes.rotated_surface import RotatedSurfaceCode
-from repro.core.policies.eraser import EraserPolicy
-from repro.experiments.memory import MemoryExperiment
-from repro.noise.leakage import LeakageModel
-from repro.noise.model import NoiseParams
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.jobs import SweepPlan
+
+THRESHOLDS = (1, 2, 4)
+BACKUPS = (0, 1, 3)
+MATCHERS = ("mwpm", "greedy")
 
 
-def _run_policy(policy, distance, shots, seed, method="auto"):
-    experiment = MemoryExperiment(
-        code=RotatedSurfaceCode(distance),
-        policy=policy,
-        noise=NoiseParams.standard(1e-3),
-        leakage=LeakageModel.standard(1e-3),
-        cycles=10,
-        decode=True,
-        decoder_method=method,
-        seed=seed,
+def _config(distance, shots, **overrides):
+    config = dict(distance=distance, policy="eraser", shots=shots, p=1e-3, cycles=10)
+    config.update(overrides)
+    return config
+
+
+def _run(distance, shots, seed, sweep_opts):
+    configs = (
+        [
+            _config(distance, shots, policy_kwargs={"speculation_threshold_override": t})
+            for t in THRESHOLDS
+        ]
+        + [_config(distance, shots, policy_kwargs={"num_backups": b}) for b in BACKUPS]
+        + [
+            _config(distance, max(10, shots // 2), decoder_method=m)
+            for m in MATCHERS
+        ]
     )
-    return experiment.run(shots)
-
-
-def _run(distance, shots, seed):
-    threshold_results = {
-        threshold: _run_policy(
-            EraserPolicy(speculation_threshold_override=threshold), distance, shots, seed
-        )
-        for threshold in (1, 2, 4)
-    }
-    backup_results = {
-        backups: _run_policy(EraserPolicy(num_backups=backups), distance, shots, seed)
-        for backups in (0, 1, 3)
-    }
-    matcher_results = {
-        method: _run_policy(EraserPolicy(), distance, max(10, shots // 2), seed, method=method)
-        for method in ("mwpm", "greedy")
-    }
+    plan = SweepPlan.build(configs, seed=seed)
+    results = SweepExecutor(**sweep_opts).run(plan)
+    threshold_results = dict(zip(THRESHOLDS, results[: len(THRESHOLDS)]))
+    backup_results = dict(
+        zip(BACKUPS, results[len(THRESHOLDS): len(THRESHOLDS) + len(BACKUPS)])
+    )
+    matcher_results = dict(zip(MATCHERS, results[len(THRESHOLDS) + len(BACKUPS):]))
     return threshold_results, backup_results, matcher_results
 
 
-def test_ablation_design_choices(benchmark, shots, max_distance, seed):
+def test_ablation_design_choices(benchmark, shots, max_distance, seed, sweep_opts):
     distance = min(max_distance, 5)
     thresholds, backups, matchers = benchmark.pedantic(
-        _run, args=(distance, shots, seed), iterations=1, rounds=1
+        _run, args=(distance, shots, seed, sweep_opts), iterations=1, rounds=1
     )
 
     rows = [

@@ -14,7 +14,7 @@ from repro.experiments.sweep import ler_vs_cycles
 CYCLES = (1, 3, 5)
 
 
-def _run(shots, seed):
+def _run(shots, seed, sweep_opts):
     distance = 3
     with_leakage = ler_vs_cycles(
         distance,
@@ -23,6 +23,7 @@ def _run(shots, seed):
         shots=shots,
         leakage_enabled=True,
         seed=seed,
+        **sweep_opts,
     )
     without_leakage = ler_vs_cycles(
         distance,
@@ -31,13 +32,14 @@ def _run(shots, seed):
         shots=shots,
         leakage_enabled=False,
         seed=seed,
+        **sweep_opts,
     )
     return with_leakage, without_leakage
 
 
-def test_fig02_leakage_impact(benchmark, shots, seed):
+def test_fig02_leakage_impact(benchmark, shots, seed, sweep_opts):
     with_leakage, without_leakage = benchmark.pedantic(
-        _run, args=(shots, seed), iterations=1, rounds=1
+        _run, args=(shots, seed, sweep_opts), iterations=1, rounds=1
     )
     series = {"no-leakage (no-lrc)": without_leakage["no-lrc"]}
     series.update({f"leakage ({k})": v for k, v in with_leakage.items()})

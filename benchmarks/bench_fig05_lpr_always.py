@@ -13,7 +13,7 @@ from repro.analysis.tables import format_table
 from repro.experiments.sweep import run_single
 
 
-def _run(distance, shots, seed):
+def _run(distance, shots, seed, sweep_opts):
     return run_single(
         distance=distance,
         policy_name="always-lrc",
@@ -22,12 +22,15 @@ def _run(distance, shots, seed):
         shots=shots,
         decode=False,
         seed=seed,
+        **sweep_opts,
     )
 
 
-def test_fig05_lpr_always_lrcs(benchmark, shots, max_distance, seed):
+def test_fig05_lpr_always_lrcs(benchmark, shots, max_distance, seed, sweep_opts):
     distance = max_distance
-    result = benchmark.pedantic(_run, args=(distance, shots, seed), iterations=1, rounds=1)
+    result = benchmark.pedantic(
+        _run, args=(distance, shots, seed, sweep_opts), iterations=1, rounds=1
+    )
     rounds = result.lpr_total.shape[0]
     stride = max(1, rounds // 20)
     rows = [

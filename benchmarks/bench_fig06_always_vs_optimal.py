@@ -10,7 +10,7 @@ from repro.analysis.tables import format_table, series_table
 from repro.experiments.sweep import ler_vs_cycles, run_single
 
 
-def _run(distance, shots, seed):
+def _run(distance, shots, seed, sweep_opts):
     lpr = {
         policy: run_single(
             distance=distance,
@@ -19,6 +19,7 @@ def _run(distance, shots, seed):
             shots=shots,
             decode=False,
             seed=seed,
+            **sweep_opts,
         )
         for policy in ("always-lrc", "optimal")
     }
@@ -28,13 +29,16 @@ def _run(distance, shots, seed):
         cycles_list=[2, 6, 10],
         shots=shots,
         seed=seed,
+        **sweep_opts,
     )
     return lpr, ler
 
 
-def test_fig06_always_vs_optimal(benchmark, shots, max_distance, seed):
+def test_fig06_always_vs_optimal(benchmark, shots, max_distance, seed, sweep_opts):
     distance = max_distance
-    lpr, ler = benchmark.pedantic(_run, args=(distance, shots, seed), iterations=1, rounds=1)
+    lpr, ler = benchmark.pedantic(
+        _run, args=(distance, shots, seed, sweep_opts), iterations=1, rounds=1
+    )
     rounds = lpr["always-lrc"].lpr_total.shape[0]
     stride = max(1, rounds // 15)
     rows = [

@@ -15,7 +15,7 @@ from repro.experiments.sweep import compare_policies
 POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
 
 
-def _run(distances, shots, seed, engine="auto", batch_size=None):
+def _run(distances, shots, seed, engine="auto", batch_size=None, sweep_opts=None):
     return compare_policies(
         distances=distances,
         policies=POLICIES,
@@ -25,12 +25,18 @@ def _run(distances, shots, seed, engine="auto", batch_size=None):
         seed=seed,
         engine=engine,
         batch_size=batch_size,
+        **(sweep_opts or {}),
     )
 
 
-def test_fig14_ler_vs_distance(benchmark, shots, distances, seed, engine, batch_size):
+def test_fig14_ler_vs_distance(
+    benchmark, shots, distances, seed, engine, batch_size, sweep_opts
+):
     sweep = benchmark.pedantic(
-        _run, args=(distances, shots, seed, engine, batch_size), iterations=1, rounds=1
+        _run,
+        args=(distances, shots, seed, engine, batch_size, sweep_opts),
+        iterations=1,
+        rounds=1,
     )
     emit(
         f"Figure 14: LER vs distance, p=1e-3, 10 cycles, {shots} shots/point",

@@ -16,7 +16,7 @@ from repro.experiments.sweep import compare_policies
 POLICIES = ("always-lrc", "eraser", "optimal")
 
 
-def _run(distances, shots, seed):
+def _run(distances, shots, seed, sweep_opts):
     return compare_policies(
         distances=distances,
         policies=POLICIES,
@@ -24,12 +24,15 @@ def _run(distances, shots, seed):
         cycles=10,
         shots=shots,
         seed=seed,
+        **sweep_opts,
     )
 
 
-def test_fig14_low_physical_error_rate(benchmark, shots, distances, seed):
+def test_fig14_low_physical_error_rate(benchmark, shots, distances, seed, sweep_opts):
     small = [d for d in distances if d <= 5]
-    sweep = benchmark.pedantic(_run, args=(small, shots, seed), iterations=1, rounds=1)
+    sweep = benchmark.pedantic(
+        _run, args=(small, shots, seed, sweep_opts), iterations=1, rounds=1
+    )
     emit(
         f"Figure 14 (bottom): LER vs distance, p=1e-4, 10 cycles, {shots} shots/point",
         sweep.format_table() + "\n\n" + series_table(sweep.ler_table(), x_label="distance"),

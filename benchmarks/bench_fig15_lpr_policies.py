@@ -14,7 +14,7 @@ from repro.experiments.sweep import lpr_time_series
 POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
 
 
-def _run(distance, shots, seed):
+def _run(distance, shots, seed, sweep_opts):
     return lpr_time_series(
         distance=distance,
         policies=POLICIES,
@@ -22,12 +22,15 @@ def _run(distance, shots, seed):
         cycles=10,
         shots=shots,
         seed=seed,
+        **sweep_opts,
     )
 
 
-def test_fig15_lpr_per_policy(benchmark, shots, max_distance, seed):
+def test_fig15_lpr_per_policy(benchmark, shots, max_distance, seed, sweep_opts):
     distance = max_distance
-    series = benchmark.pedantic(_run, args=(distance, shots, seed), iterations=1, rounds=1)
+    series = benchmark.pedantic(
+        _run, args=(distance, shots, seed, sweep_opts), iterations=1, rounds=1
+    )
     rounds = len(next(iter(series.values())))
     stride = max(1, rounds // 20)
     rows = []

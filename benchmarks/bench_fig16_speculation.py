@@ -13,7 +13,7 @@ from repro.experiments.sweep import compare_policies
 POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
 
 
-def _run(distances, shots, seed):
+def _run(distances, shots, seed, sweep_opts):
     return compare_policies(
         distances=distances,
         policies=POLICIES,
@@ -22,11 +22,14 @@ def _run(distances, shots, seed):
         shots=shots,
         decode=False,
         seed=seed,
+        **sweep_opts,
     )
 
 
-def test_fig16_speculation_quality(benchmark, shots, distances, seed):
-    sweep = benchmark.pedantic(_run, args=(distances, shots, seed), iterations=1, rounds=1)
+def test_fig16_speculation_quality(benchmark, shots, distances, seed, sweep_opts):
+    sweep = benchmark.pedantic(
+        _run, args=(distances, shots, seed, sweep_opts), iterations=1, rounds=1
+    )
     rows = []
     for result in sweep:
         spec = result.speculation

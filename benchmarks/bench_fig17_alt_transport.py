@@ -14,7 +14,7 @@ from repro.noise.leakage import LeakageTransportModel
 POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
 
 
-def _run(distances, shots, seed):
+def _run(distances, shots, seed, sweep_opts):
     exchange = compare_policies(
         distances=distances,
         policies=POLICIES,
@@ -23,6 +23,7 @@ def _run(distances, shots, seed):
         shots=shots,
         transport_model=LeakageTransportModel.EXCHANGE,
         seed=seed,
+        **sweep_opts,
     )
     remain = compare_policies(
         distances=[max(distances)],
@@ -33,13 +34,14 @@ def _run(distances, shots, seed):
         transport_model=LeakageTransportModel.REMAIN,
         decode=False,
         seed=seed,
+        **sweep_opts,
     )
     return exchange, remain
 
 
-def test_fig17_alternative_transport_model(benchmark, shots, distances, seed):
+def test_fig17_alternative_transport_model(benchmark, shots, distances, seed, sweep_opts):
     exchange, remain = benchmark.pedantic(
-        _run, args=(distances, shots, seed), iterations=1, rounds=1
+        _run, args=(distances, shots, seed, sweep_opts), iterations=1, rounds=1
     )
     emit(
         "Figure 17: LER vs distance under the exchange transport model",

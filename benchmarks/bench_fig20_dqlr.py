@@ -14,7 +14,7 @@ from repro.dqlr.protocol import run_dqlr_comparison
 POLICIES = ("dqlr", "eraser", "eraser+m", "optimal")
 
 
-def _run(distances, shots, seed):
+def _run(distances, shots, seed, sweep_opts):
     return run_dqlr_comparison(
         distances=distances,
         policies=POLICIES,
@@ -22,11 +22,14 @@ def _run(distances, shots, seed):
         cycles=10,
         shots=shots,
         seed=seed,
+        **sweep_opts,
     )
 
 
-def test_fig20_dqlr_scheduling(benchmark, shots, distances, seed):
-    sweep = benchmark.pedantic(_run, args=(distances, shots, seed), iterations=1, rounds=1)
+def test_fig20_dqlr_scheduling(benchmark, shots, distances, seed, sweep_opts):
+    sweep = benchmark.pedantic(
+        _run, args=(distances, shots, seed, sweep_opts), iterations=1, rounds=1
+    )
     rows = []
     for result in sweep:
         rows.append(

@@ -1,0 +1,88 @@
+"""Sweep orchestration: parallel scaling and content-addressed caching.
+
+Runs one multi-configuration sweep (the Figure 14 grid at reduced depth)
+through the :class:`~repro.experiments.executor.SweepExecutor` serially and
+with 2 and 4 workers, then twice more against a result cache.  It verifies
+the two orchestration guarantees:
+
+* every backend returns bit-identical statistics for the same seed (chunked
+  ``SeedSequence.spawn`` streams are execution-order independent), and
+* a cached rerun performs zero Monte-Carlo work.
+
+Wall-clock speedup is printed for each worker count; near-linear scaling up
+to 4 workers is only *asserted* when the host actually has 4+ CPUs (CI
+containers often expose a single core, where fork/pickle overhead dominates).
+"""
+
+import os
+import time
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.sweep import compare_policies_plan
+
+POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
+
+
+def _plan(shots, seed):
+    return compare_policies_plan(
+        distances=[3, 5],
+        policies=POLICIES,
+        p=1e-3,
+        cycles=5,
+        shots=shots,
+        seed=seed,
+        # Several chunks per configuration so one slow config cannot
+        # serialise the pool.
+        chunk_shots=max(1, shots // 4),
+    )
+
+
+def _timed_run(executor, plan):
+    start = time.perf_counter()
+    results = executor.run(plan)
+    return results, time.perf_counter() - start
+
+
+def test_sweep_parallel_scaling(shots, seed, tmp_path):
+    plan = _plan(shots, seed)
+    serial, serial_time = _timed_run(SweepExecutor(jobs=1), plan)
+
+    rows = [["serial", 1, serial_time, 1.0]]
+    speedups = {}
+    for workers in (2, 4):
+        parallel, elapsed = _timed_run(SweepExecutor(jobs=workers), _plan(shots, seed))
+        speedups[workers] = serial_time / elapsed if elapsed > 0 else float("inf")
+        rows.append(["process pool", workers, elapsed, speedups[workers]])
+        # The headline guarantee: parallel statistics are identical, not just
+        # statistically equivalent.
+        assert all(a.statistically_equal(b) for a, b in zip(serial, parallel))
+
+    cache = SweepExecutor(jobs=2, cache_dir=tmp_path)
+    _, cold_time = _timed_run(cache, _plan(shots, seed))
+    cached_results, warm_time = _timed_run(cache, _plan(shots, seed))
+    rows.append(["cache cold", 2, cold_time, serial_time / cold_time if cold_time else 1.0])
+    rows.append(["cache warm", 2, warm_time, serial_time / warm_time if warm_time else 1.0])
+    # Zero Monte-Carlo work on the warm rerun, and identical statistics.
+    assert cache.last_stats.chunks_run == 0
+    assert cache.last_stats.cache_hits == len(plan.jobs)
+    assert all(a.statistically_equal(b) for a, b in zip(serial, cached_results))
+
+    emit(
+        f"Sweep orchestration: {len(plan.jobs)} configs x {shots} shots "
+        f"({plan.total_chunks} chunks), host CPUs: {os.cpu_count()}",
+        format_table(
+            ["backend", "workers", "seconds", "speedup vs serial"],
+            rows,
+            float_format="{:.2f}",
+        ),
+    )
+
+    if (os.cpu_count() or 1) >= 4:
+        # Near-linear scaling claim, with slack for pool startup and merge.
+        assert speedups[4] > 2.0, f"4-worker speedup only {speedups[4]:.2f}x"
+        assert speedups[2] > 1.3, f"2-worker speedup only {speedups[2]:.2f}x"
+    # A warm cache must beat recomputation outright.
+    assert warm_time < cold_time

@@ -21,7 +21,7 @@ PAPER_TABLE4 = {
 }
 
 
-def _run(distances, shots, seed):
+def _run(distances, shots, seed, sweep_opts):
     return compare_policies(
         distances=distances,
         policies=POLICIES,
@@ -30,11 +30,14 @@ def _run(distances, shots, seed):
         shots=shots,
         decode=False,
         seed=seed,
+        **sweep_opts,
     )
 
 
-def test_table4_lrcs_per_round(benchmark, shots, distances, seed):
-    sweep = benchmark.pedantic(_run, args=(distances, shots, seed), iterations=1, rounds=1)
+def test_table4_lrcs_per_round(benchmark, shots, distances, seed, sweep_opts):
+    sweep = benchmark.pedantic(
+        _run, args=(distances, shots, seed, sweep_opts), iterations=1, rounds=1
+    )
     table = sweep.lrc_table()
     rows = []
     for d in distances:

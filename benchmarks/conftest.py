@@ -9,6 +9,16 @@ to laptop budgets; two environment variables let you trade time for precision:
 * ``ERASER_REPRO_MAX_DISTANCE`` — largest code distance swept (default 5).
 * ``ERASER_REPRO_ENGINE`` — Monte-Carlo engine (``auto``/``batched``/``scalar``).
 * ``ERASER_REPRO_BATCH`` — shots per simulator batch (0 = engine default).
+
+Sweep orchestration (see :mod:`repro.experiments.executor`) is controlled the
+same way; every sweep-shaped benchmark forwards these to the executor:
+
+* ``ERASER_REPRO_JOBS`` — worker processes per sweep (default 1 = serial;
+  statistics are identical either way).
+* ``ERASER_REPRO_CACHE_DIR`` — content-addressed result cache; rerunning a
+  benchmark with the same cache skips every configuration already computed.
+* ``ERASER_REPRO_RESUME`` — set to 1 to reuse the default cache directory
+  (resume interrupted benchmark runs without naming a cache explicitly).
 """
 
 import os
@@ -57,6 +67,32 @@ def batch_size():
     """Shots per simulator batch; ``None`` uses the engine default."""
     value = _int_env("ERASER_REPRO_BATCH", 0)
     return value if value > 0 else None
+
+
+@pytest.fixture(scope="session")
+def sweep_jobs() -> int:
+    """Worker processes per sweep (1 = in-process serial execution)."""
+    return max(1, _int_env("ERASER_REPRO_JOBS", 1))
+
+
+@pytest.fixture(scope="session")
+def cache_dir():
+    """Content-addressed result cache directory (``None`` = caching off)."""
+    return os.environ.get("ERASER_REPRO_CACHE_DIR") or None
+
+
+@pytest.fixture(scope="session")
+def resume() -> bool:
+    """Whether to fall back to the default cache directory for resumption."""
+    return os.environ.get("ERASER_REPRO_RESUME", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_opts(sweep_jobs, cache_dir, resume) -> dict:
+    """Executor options forwarded by every sweep-shaped benchmark."""
+    return {"jobs": sweep_jobs, "cache_dir": cache_dir, "resume": resume}
 
 
 def emit(title: str, body: str) -> None:

@@ -11,6 +11,9 @@ Figures 20 and 21.
 Run with::
 
     python examples/dqlr_study.py [--distances 3 5] [--shots 100]
+
+Add ``--jobs N`` to run configurations across worker processes and
+``--cache-dir DIR`` (or ``--resume``) to reuse previously computed results.
 """
 
 import argparse
@@ -26,6 +29,12 @@ def main() -> None:
     parser.add_argument("--cycles", type=int, default=10)
     parser.add_argument("--p", type=float, default=1e-3)
     parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results identical to serial)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse the default cache directory")
     args = parser.parse_args()
 
     print(f"DQLR comparison: distances {args.distances}, {args.shots} shots, "
@@ -36,6 +45,9 @@ def main() -> None:
         cycles=args.cycles,
         shots=args.shots,
         seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
     )
 
     print(sweep.format_table())

@@ -9,6 +9,9 @@ not depend on it), which keeps even long time series fast.
 Run with::
 
     python examples/lpr_dynamics.py [--distance 5] [--cycles 10] [--shots 60]
+
+Add ``--jobs N`` to fan the per-policy sweeps over worker processes and
+``--cache-dir DIR`` (or ``--resume``) to reuse previously computed results.
 """
 
 import argparse
@@ -26,7 +29,14 @@ def main() -> None:
     parser.add_argument("--shots", type=int, default=60)
     parser.add_argument("--p", type=float, default=1e-3)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results identical to serial)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse the default cache directory")
     args = parser.parse_args()
+    sweep_opts = dict(jobs=args.jobs, cache_dir=args.cache_dir, resume=args.resume)
 
     print(f"LPR time series, d={args.distance}, {args.cycles} cycles, "
           f"{args.shots} shots per policy, p={args.p:g}\n")
@@ -38,6 +48,7 @@ def main() -> None:
         cycles=args.cycles,
         shots=args.shots,
         seed=args.seed,
+        **sweep_opts,
     )
 
     headers = ["round"] + [f"{name} (1e-4)" for name in series]
@@ -57,6 +68,7 @@ def main() -> None:
         shots=args.shots,
         decode=False,
         seed=args.seed,
+        **sweep_opts,
     )
     rows = []
     for r in range(0, num_rounds, stride):

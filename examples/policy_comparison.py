@@ -9,6 +9,10 @@ speculation accuracy / false-positive / false-negative rates.
 Run with::
 
     python examples/policy_comparison.py [--distances 3 5] [--shots 150]
+
+Add ``--jobs N`` to run configurations across worker processes and
+``--cache-dir DIR`` (or ``--resume``) to skip configurations already
+computed in a previous invocation.
 """
 
 import argparse
@@ -26,10 +30,16 @@ def main() -> None:
     parser.add_argument("--cycles", type=int, default=10)
     parser.add_argument("--p", type=float, default=1e-3)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results identical to serial)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse the default cache directory")
     args = parser.parse_args()
 
     print(f"Sweeping distances {args.distances} with {args.shots} shots per point "
-          f"(p = {args.p:g}, {args.cycles} QEC cycles)...\n")
+          f"(p = {args.p:g}, {args.cycles} QEC cycles, {args.jobs} worker(s))...\n")
     sweep = compare_policies(
         distances=args.distances,
         policies=POLICIES,
@@ -37,6 +47,9 @@ def main() -> None:
         cycles=args.cycles,
         shots=args.shots,
         seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
     )
 
     print("Per-configuration summary")

@@ -6,12 +6,21 @@ family, each printing the table of numbers behind the corresponding figure.
 Examples::
 
     eraser-repro ler --distances 3 5 --shots 100
+    eraser-repro ler --distances 3 5 7 --jobs 4 --cache-dir sweep-cache/
     eraser-repro lpr --distance 5 --cycles 10 --shots 50
     eraser-repro speculation --distance 5
     eraser-repro table2
     eraser-repro fpga
     eraser-repro rtl --distance 5 --output eraser_d5.sv
     eraser-repro dm-study
+    eraser-repro experiments
+    eraser-repro experiments run fig14 --jobs 4 --cache-dir sweep-cache/
+
+Every Monte-Carlo sweep accepts ``--jobs N`` (parallel workers; statistics
+are identical to the serial run), ``--cache-dir DIR`` (content-addressed
+result cache — rerunning a cached configuration performs no simulation) and
+``--resume`` (reuse the default cache directory so an interrupted sweep
+continues where it stopped).
 """
 
 from __future__ import annotations
@@ -28,7 +37,9 @@ from repro.analysis.analytic import (
 from repro.analysis.tables import format_table, series_table
 from repro.densitymatrix.study import SingleStabilizerLeakageStudy
 from repro.dqlr.protocol import run_dqlr_comparison
-from repro.experiments.registry import format_experiment_index
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.registry import format_experiment_index, get_experiment
+from repro.experiments.results import PolicySweepResult
 from repro.experiments.sweep import compare_policies, lpr_time_series
 from repro.hardware.cost_model import FpgaCostModel
 from repro.hardware.rtl_gen import generate_eraser_rtl
@@ -64,6 +75,47 @@ def _add_common_sweep_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="Shots simulated together per batch (batched engine only).",
     )
+    _add_orchestration_args(parser)
+
+
+def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
+    """Sweep-executor knobs shared by every Monte-Carlo subcommand."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="Worker processes for the sweep (1 = in-process; statistics are "
+        "identical to the serial run for the same seed).",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="Content-addressed result cache; configurations already stored "
+        "there are loaded instead of re-simulated.",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="Reuse the default cache directory (.eraser-repro-cache) so an "
+        "interrupted sweep continues from the results already on disk.",
+    )
+    parser.add_argument(
+        "--chunk-shots",
+        type=int,
+        default=None,
+        help="Shots per scheduled work chunk (default 256); smaller chunks "
+        "spread one large configuration across more workers.",
+    )
+
+
+def _sweep_options(args: argparse.Namespace) -> dict:
+    return dict(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        chunk_shots=args.chunk_shots,
+    )
 
 
 def _transport(name: str) -> LeakageTransportModel:
@@ -81,6 +133,7 @@ def _cmd_ler(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        **_sweep_options(args),
     )
     print(sweep.format_table())
     print()
@@ -99,6 +152,7 @@ def _cmd_lpr(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        **_sweep_options(args),
     )
     headers = ["round"] + list(series.keys())
     rows = []
@@ -120,6 +174,7 @@ def _cmd_speculation(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        **_sweep_options(args),
     )
     rows = []
     for result in sweep:
@@ -182,7 +237,50 @@ def _cmd_dm_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    print(format_experiment_index())
+    if args.action == "list":
+        print(format_experiment_index())
+        return 0
+    if not args.experiment_id:
+        print("experiments run requires an experiment id (e.g. fig14)")
+        return 2
+    try:
+        spec = get_experiment(args.experiment_id)
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    if not spec.has_plan:
+        print(
+            f"{spec.experiment_id} is not a Monte-Carlo sweep; regenerate it "
+            f"with its benchmark instead:\n"
+            f"  PYTHONPATH=src python -m pytest -s {spec.benchmark}"
+        )
+        return 1
+    plan = spec.make_plan(
+        shots=args.shots,
+        max_distance=args.max_distance,
+        seed=args.seed,
+        chunk_shots=args.chunk_shots,
+    )
+    if args.seed is None and (args.cache_dir or args.resume):
+        print(
+            "note: caching without --seed cannot be reused by later "
+            "invocations (each run draws fresh entropy); pass --seed to make "
+            "the cache and --resume effective"
+        )
+    executor = SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir, resume=args.resume)
+    results = executor.run(plan)
+    sweep = PolicySweepResult(list(results))
+    print(f"{spec.experiment_id}: {spec.title}")
+    print()
+    print(sweep.format_table())
+    decoded = [result for result in results if result.logical_errors >= 0]
+    # ler_table() keys by (policy, distance); only print it when that view is
+    # faithful (grids that also vary cycles or leakage would collapse rows).
+    if decoded and len({(r.policy, r.distance) for r in decoded}) == len(decoded):
+        print()
+        print(series_table(sweep.ler_table(), x_label="distance"))
+    print()
+    print(executor.last_stats.summary())
     return 0
 
 
@@ -195,6 +293,7 @@ def _cmd_dqlr(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        **_sweep_options(args),
     )
     print(sweep.format_table())
     return 0
@@ -242,8 +341,26 @@ def build_parser() -> argparse.ArgumentParser:
     dqlr.set_defaults(func=_cmd_dqlr)
 
     experiments = subparsers.add_parser(
-        "experiments", help="List every paper table/figure and how to regenerate it"
+        "experiments",
+        help="List every paper table/figure, or run one as a parallel cached sweep",
     )
+    experiments.add_argument(
+        "action",
+        nargs="?",
+        choices=["list", "run"],
+        default="list",
+        help="'list' prints the index; 'run' executes an experiment's sweep plan.",
+    )
+    experiments.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="Experiment to run (e.g. fig14); see 'experiments list'.",
+    )
+    experiments.add_argument("--shots", type=int, default=200)
+    experiments.add_argument("--max-distance", type=int, default=5)
+    experiments.add_argument("--seed", type=int, default=None)
+    _add_orchestration_args(experiments)
     experiments.set_defaults(func=_cmd_experiments)
 
     return parser

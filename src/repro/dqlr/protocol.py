@@ -22,16 +22,14 @@ from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.core.dli import SwapLookupTable
-from repro.core.policies import make_policy
 from repro.core.policies.base import LrcPolicy, assignment_to_row
 from repro.core.qsg import PROTOCOL_DQLR
-from repro.experiments.memory import MemoryExperiment
+from repro.experiments.executor import SweepExecutor, warn_unseeded_cache
+from repro.experiments.jobs import SweepPlan
 from repro.experiments.results import PolicySweepResult
-from repro.noise.leakage import LeakageModel, LeakageTransportModel
-from repro.noise.model import NoiseParams
-from repro.sim.rng import RngLike, make_rng
+from repro.noise.leakage import LeakageTransportModel
+from repro.sim.rng import RngLike
 
 
 class DqlrBaselinePolicy(LrcPolicy):
@@ -96,20 +94,18 @@ class DqlrBaselinePolicy(LrcPolicy):
         return np.tile(row, (detection_events.shape[0], 1))
 
 
+#: The four policies compared in Figures 20 and 21.
+DQLR_POLICIES = ("dqlr", "eraser", "eraser+m", "optimal")
+
+
 def dqlr_policy_names() -> Sequence[str]:
     """The four policies compared in Figures 20 and 21."""
-    return ("dqlr", "eraser", "eraser+m", "optimal")
+    return DQLR_POLICIES
 
 
-def _make_dqlr_policy(name: str) -> LrcPolicy:
-    if name.strip().lower() == "dqlr":
-        return DqlrBaselinePolicy()
-    return make_policy(name)
-
-
-def run_dqlr_comparison(
+def dqlr_comparison_plan(
     distances: Sequence[int],
-    policies: Sequence[str] = ("dqlr", "eraser", "eraser+m", "optimal"),
+    policies: Sequence[str] = DQLR_POLICIES,
     p: float = 1e-3,
     cycles: int = 10,
     shots: int = 100,
@@ -118,36 +114,70 @@ def run_dqlr_comparison(
     seed: RngLike = None,
     engine: str = "auto",
     batch_size: int = None,
+    chunk_shots: int = None,
+) -> SweepPlan:
+    """The Appendix A.2 sweep (Figures 20/21) as an executable plan."""
+    configs = [
+        dict(
+            distance=distance,
+            policy=policy_name,
+            p=p,
+            shots=shots,
+            cycles=cycles,
+            transport_model=LeakageTransportModel.EXCHANGE,
+            protocol=PROTOCOL_DQLR,
+            decode=decode,
+            decoder_method=decoder_method,
+            engine=engine,
+            batch_size=batch_size,
+        )
+        for distance in distances
+        for policy_name in policies
+    ]
+    return SweepPlan.build(configs, seed=seed, chunk_shots=chunk_shots)
+
+
+def run_dqlr_comparison(
+    distances: Sequence[int],
+    policies: Sequence[str] = DQLR_POLICIES,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 100,
+    decode: bool = True,
+    decoder_method: str = "auto",
+    seed: RngLike = None,
+    engine: str = "auto",
+    batch_size: int = None,
+    jobs: int = 1,
+    cache_dir: str = None,
+    resume: bool = False,
+    chunk_shots: int = None,
+    executor: SweepExecutor = None,
 ) -> PolicySweepResult:
     """Sweep DQLR-based leakage removal across distances and policies.
 
     Matches the evaluation setup of Appendix A.2: the LeakageISWAP has CX-like
     fidelity and the alternative (exchange) leakage-transport model is used so
-    the results reflect Sycamore-like transport behaviour.
+    the results reflect Sycamore-like transport behaviour.  ``jobs``,
+    ``cache_dir`` and ``resume`` behave as in
+    :mod:`repro.experiments.sweep`: the plan runs through a
+    :class:`~repro.experiments.executor.SweepExecutor`, optionally in
+    parallel and backed by the content-addressed result cache.
     """
-    rng = make_rng(seed)
-    sweep = PolicySweepResult()
-    for distance in distances:
-        code = RotatedSurfaceCode(distance)
-        for policy_name in policies:
-            noise = NoiseParams.standard(p)
-            leakage = LeakageModel.standard(
-                p, transport_model=LeakageTransportModel.EXCHANGE
-            )
-            experiment = MemoryExperiment(
-                code=code,
-                policy=_make_dqlr_policy(policy_name),
-                noise=noise,
-                leakage=leakage,
-                cycles=cycles,
-                protocol=PROTOCOL_DQLR,
-                decode=decode,
-                decoder_method=decoder_method,
-                seed=rng,
-                engine=engine,
-                batch_size=batch_size,
-            )
-            result = experiment.run(shots)
-            result.metadata["protocol"] = PROTOCOL_DQLR
-            sweep.add(result)
-    return sweep
+    plan = dqlr_comparison_plan(
+        distances=distances,
+        policies=policies,
+        p=p,
+        cycles=cycles,
+        shots=shots,
+        decode=decode,
+        decoder_method=decoder_method,
+        seed=seed,
+        engine=engine,
+        batch_size=batch_size,
+        chunk_shots=chunk_shots,
+    )
+    if executor is None:
+        warn_unseeded_cache(seed, cache_dir, resume)
+        executor = SweepExecutor(jobs=jobs, cache_dir=cache_dir, resume=resume)
+    return PolicySweepResult(list(executor.run(plan)))

@@ -1,14 +1,20 @@
-"""Memory-experiment harness, metrics, and parameter sweeps."""
+"""Memory-experiment harness, metrics, sweeps, and sweep orchestration."""
 
 from repro.experiments.metrics import SpeculationCounts, binomial_stderr, wilson_interval
 from repro.experiments.results import MemoryExperimentResult, PolicySweepResult
 from repro.experiments.memory import MemoryExperiment
+from repro.experiments.jobs import SweepJob, SweepPlan, merge_chunk_results
+from repro.experiments.store import ResultStore, config_hash
+from repro.experiments.executor import SweepExecutor, SweepStats
 from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment
 from repro.experiments.sweep import (
     compare_policies,
+    compare_policies_plan,
     ler_vs_cycles,
     ler_vs_distance,
     lpr_time_series,
+    lpr_time_series_plan,
+    run_single,
 )
 
 __all__ = [
@@ -18,11 +24,21 @@ __all__ = [
     "MemoryExperimentResult",
     "PolicySweepResult",
     "MemoryExperiment",
+    "SweepJob",
+    "SweepPlan",
+    "merge_chunk_results",
+    "ResultStore",
+    "config_hash",
+    "SweepExecutor",
+    "SweepStats",
     "EXPERIMENTS",
     "ExperimentSpec",
     "get_experiment",
     "compare_policies",
+    "compare_policies_plan",
     "ler_vs_cycles",
     "ler_vs_distance",
     "lpr_time_series",
+    "lpr_time_series_plan",
+    "run_single",
 ]

@@ -1,0 +1,180 @@
+"""Sweep execution backends: serial, multiprocess, cached, resumable.
+
+The :class:`SweepExecutor` turns a :class:`~repro.experiments.jobs.SweepPlan`
+into results.  Work is scheduled at *chunk* granularity — every job is split
+into fixed-size shot chunks with independent, order-insensitive random
+streams — so a pool stays saturated even when the sweep mixes one expensive
+configuration with many cheap ones, and the serial backend (``jobs=1``)
+produces bit-identical statistics by running exactly the same chunks through
+exactly the same merge.
+
+When a cache directory is configured, finished jobs are persisted to a
+content-addressed :class:`~repro.experiments.store.ResultStore` and looked up
+before any Monte-Carlo work is scheduled.  A rerun of the same sweep (same
+configurations, same seed) therefore performs zero simulation, and a sweep
+interrupted part-way resumes from the jobs already on disk.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.jobs import SweepJob, SweepPlan, merge_chunk_results
+from repro.experiments.results import MemoryExperimentResult
+from repro.experiments.store import ResultStore, default_cache_dir
+
+
+def _execute_chunk(job: SweepJob, index: int) -> MemoryExperimentResult:
+    """Worker entry point (module-level so it pickles under every backend)."""
+    return job.run_chunk(index)
+
+
+def warn_unseeded_cache(seed, cache_dir, resume: bool) -> None:
+    """Warn when caching can never produce a hit across invocations.
+
+    An unseeded plan draws fresh OS entropy every build, and a live
+    ``Generator`` contributes a fresh draw from its stream; either way the
+    derived entropy is part of each job's content address, so
+    ``cache_dir``/``resume`` writes entries that no later invocation can
+    reuse.  Only an explicit integer seed gives stable cache addresses.
+    """
+    if (cache_dir or resume) and (
+        seed is None or isinstance(seed, np.random.Generator)
+    ):
+        warnings.warn(
+            "sweep caching/resume without an explicit integer seed: every "
+            "invocation derives fresh entropy, so cached results can never "
+            "be reused across runs — pass a fixed seed to make the cache "
+            "effective",
+            UserWarning,
+            stacklevel=3,
+        )
+
+
+@dataclass
+class SweepStats:
+    """What the last :meth:`SweepExecutor.run` actually did."""
+
+    jobs_total: int = 0
+    cache_hits: int = 0
+    jobs_run: int = 0
+    chunks_run: int = 0
+    elapsed_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.jobs_total} job(s): {self.cache_hits} cached, "
+            f"{self.jobs_run} executed ({self.chunks_run} chunk(s)) "
+            f"in {self.elapsed_seconds:.2f}s"
+        )
+
+
+class SweepExecutor:
+    """Runs sweep plans serially or across a process pool, with caching.
+
+    Args:
+        jobs: Worker processes.  ``1`` (default) runs in-process; ``N > 1``
+            fans chunks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+            Both backends yield identical statistics for the same plan.
+        cache_dir: Directory for the content-addressed result store.  When
+            set, completed jobs are saved there and future runs reuse them.
+        resume: Reuse (and keep extending) the default cache directory when
+            ``cache_dir`` is not given — the switch that lets an interrupted
+            invocation pick up where it left off.
+        store: Pre-built :class:`ResultStore` (overrides ``cache_dir``).
+
+    After :meth:`run`, :attr:`last_stats` reports cache hits and the number of
+    chunks actually simulated (``0`` on a fully-cached rerun).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        resume: bool = False,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = int(jobs)
+        if store is None:
+            root = cache_dir if cache_dir else (default_cache_dir() if resume else None)
+            store = ResultStore(root) if root else None
+        self.store = store
+        self.last_stats = SweepStats()
+
+    # ------------------------------------------------------------------
+    def run_job(self, job: SweepJob) -> MemoryExperimentResult:
+        """Convenience wrapper: run a single job through the full machinery."""
+        return self.run(SweepPlan([job]))[0]
+
+    def run(self, plan: SweepPlan) -> List[MemoryExperimentResult]:
+        """Execute ``plan`` and return results in plan order."""
+        started = time.perf_counter()
+        stats = SweepStats(jobs_total=len(plan.jobs))
+        results: List[Optional[MemoryExperimentResult]] = [None] * len(plan.jobs)
+
+        pending: List[int] = []
+        for index, job in enumerate(plan.jobs):
+            cached = self.store.load(job.cache_key()) if self.store is not None else None
+            if cached is not None:
+                results[index] = cached
+                stats.cache_hits += 1
+            else:
+                pending.append(index)
+
+        tasks: List[Tuple[int, int]] = [
+            (job_index, chunk)
+            for job_index in pending
+            for chunk in range(plan.jobs[job_index].num_chunks)
+        ]
+        chunk_results: Dict[Tuple[int, int], MemoryExperimentResult] = {}
+        remaining = {job_index: plan.jobs[job_index].num_chunks for job_index in pending}
+
+        def complete_job(job_index: int) -> None:
+            # Merge (fixed chunk order, so the arithmetic is backend-independent)
+            # and persist immediately: a sweep killed later loses only the jobs
+            # that had not finished, which is what makes --resume incremental.
+            job = plan.jobs[job_index]
+            merged = merge_chunk_results(
+                [chunk_results.pop((job_index, chunk)) for chunk in range(job.num_chunks)]
+            )
+            if self.store is not None:
+                self.store.save(job.cache_key(), merged, config=job.config_dict())
+            results[job_index] = merged
+
+        if self.jobs > 1 and len(tasks) > 1:
+            workers = min(self.jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_chunk, plan.jobs[job_index], chunk): (job_index, chunk)
+                    for job_index, chunk in tasks
+                }
+                for future in as_completed(futures):
+                    job_index, chunk = futures[future]
+                    chunk_results[(job_index, chunk)] = future.result()
+                    remaining[job_index] -= 1
+                    if remaining[job_index] == 0:
+                        complete_job(job_index)
+        else:
+            # tasks are job-major, so each job completes (and is saved) before
+            # the next one starts.
+            for job_index, chunk in tasks:
+                chunk_results[(job_index, chunk)] = _execute_chunk(
+                    plan.jobs[job_index], chunk
+                )
+                remaining[job_index] -= 1
+                if remaining[job_index] == 0:
+                    complete_job(job_index)
+
+        stats.jobs_run = len(pending)
+        stats.chunks_run = len(tasks)
+        stats.elapsed_seconds = time.perf_counter() - started
+        self.last_stats = stats
+        return results  # type: ignore[return-value]

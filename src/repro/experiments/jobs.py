@@ -1,0 +1,329 @@
+"""Job-based sweep planning: fully-specified, seed-stable units of work.
+
+A sweep (LER vs distance, an LPR time series, a DQLR comparison, ...) is
+*planned* before it is executed: every point of the parameter grid becomes one
+:class:`SweepJob` — a frozen record of primitives that completely determines a
+Monte-Carlo run, including its random stream.  Planning and execution are
+separated so that the :class:`~repro.experiments.executor.SweepExecutor` can
+run jobs serially or across processes, cache them content-addressed on disk,
+and resume interrupted sweeps, all without changing a single statistic.
+
+Seed discipline
+---------------
+A plan derives one root entropy value from the user's seed and gives job ``i``
+the :class:`numpy.random.SeedSequence` spawn key ``(i,)``.  Each job further
+splits its shots into fixed-size chunks, and chunk ``c`` of job ``i`` draws
+from the child sequence with spawn key ``(i, c)``.  Because spawn keys are
+data (not "how many times has this generator been used so far"), the stream
+feeding every chunk is independent of execution order, of which worker runs
+it, and of whether any other chunk ran at all: serial and parallel execution
+of the same plan produce bit-identical statistics, and a cached result is
+exactly the result a fresh run would have produced.
+
+Chunking also keeps a pool busy: one huge configuration becomes many tasks
+instead of serialising the sweep behind a single worker.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.policies import make_policy
+from repro.core.policies.base import LrcPolicy
+from repro.core.qsg import PROTOCOL_SWAP
+from repro.experiments.memory import MemoryExperiment
+from repro.experiments.results import MemoryExperimentResult
+from repro.experiments.store import config_hash
+from repro.noise.leakage import LeakageModel, LeakageTransportModel
+from repro.noise.model import NoiseParams
+from repro.sim.rng import RngLike
+
+#: Shots per executor task unless the plan overrides it.  Small enough that a
+#: four-configuration sweep still fans out across a pool, large enough that
+#: per-task overhead (fork, pickle, simulator setup) stays negligible.
+DEFAULT_CHUNK_SHOTS = 256
+
+
+def resolve_policy(name: str, **kwargs) -> LrcPolicy:
+    """Instantiate any schedulable policy, including the DQLR baseline."""
+    key = name.strip().lower()
+    if key == "dqlr":
+        # Imported lazily: repro.dqlr.protocol itself builds on this package.
+        from repro.dqlr.protocol import DqlrBaselinePolicy
+
+        return DqlrBaselinePolicy(**kwargs)
+    return make_policy(name, **kwargs)
+
+
+def canonical_policy_name(name: str) -> str:
+    """The canonical name a policy reports in results (resolves aliases)."""
+    return resolve_policy(name).name
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One fully-specified Monte-Carlo configuration.
+
+    Every field is a primitive, so a job pickles cheaply to worker processes
+    and serialises canonically for content-addressed caching.  ``seed_entropy``
+    and ``spawn_key`` pin the job's random stream (see the module docstring);
+    ``chunk_shots`` is part of the identity because it determines how the
+    shots split across child streams.
+    """
+
+    distance: int
+    policy: str
+    shots: int
+    rounds: int
+    p: float = 1e-3
+    leakage_enabled: bool = True
+    transport_model: str = LeakageTransportModel.REMAIN.value
+    protocol: str = PROTOCOL_SWAP
+    decode: bool = True
+    decoder_method: str = "auto"
+    engine: str = "auto"
+    batch_size: Optional[int] = None
+    policy_kwargs: Tuple[Tuple[str, object], ...] = ()
+    seed_entropy: int = 0
+    spawn_key: Tuple[int, ...] = ()
+    chunk_shots: int = DEFAULT_CHUNK_SHOTS
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def config_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form of every identity-relevant field."""
+        return {
+            "distance": self.distance,
+            "policy": self.policy,
+            "shots": self.shots,
+            "rounds": self.rounds,
+            "p": self.p,
+            "leakage_enabled": self.leakage_enabled,
+            "transport_model": self.transport_model,
+            "protocol": self.protocol,
+            "decode": self.decode,
+            "decoder_method": self.decoder_method,
+            "engine": self.engine,
+            "batch_size": self.batch_size,
+            "policy_kwargs": {key: value for key, value in self.policy_kwargs},
+            "seed_entropy": self.seed_entropy,
+            "spawn_key": list(self.spawn_key),
+            "chunk_shots": self.chunk_shots,
+        }
+
+    def cache_key(self) -> str:
+        """Content address of this job (SHA-256 of the canonical config)."""
+        return config_hash(self.config_dict())
+
+    # ------------------------------------------------------------------
+    # Seeds and chunks
+    # ------------------------------------------------------------------
+    def seed_sequence(self) -> np.random.SeedSequence:
+        return np.random.SeedSequence(self.seed_entropy, spawn_key=self.spawn_key)
+
+    @property
+    def num_chunks(self) -> int:
+        return max(1, math.ceil(self.shots / self.chunk_shots))
+
+    def chunk_sizes(self) -> List[int]:
+        """Shots per chunk; all chunks full-size except possibly the last."""
+        sizes = [self.chunk_shots] * (self.num_chunks - 1)
+        sizes.append(self.shots - self.chunk_shots * (self.num_chunks - 1))
+        return sizes
+
+    def chunk_seed(self, index: int) -> np.random.SeedSequence:
+        """The child sequence for chunk ``index``.
+
+        Constructed directly from the extended spawn key (equivalent to
+        ``self.seed_sequence().spawn(...)[index]``) so any chunk's stream can
+        be rebuilt in any process without spawning its predecessors.
+        """
+        if not 0 <= index < self.num_chunks:
+            raise IndexError(f"chunk index {index} out of range for {self.num_chunks} chunks")
+        return np.random.SeedSequence(
+            self.seed_entropy, spawn_key=self.spawn_key + (index,)
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def build_experiment(self, rng: RngLike) -> MemoryExperiment:
+        """Materialise the configuration into a ready-to-run experiment."""
+        noise = NoiseParams.standard(self.p)
+        if self.leakage_enabled:
+            leakage = LeakageModel.standard(
+                self.p, transport_model=LeakageTransportModel(self.transport_model)
+            )
+        else:
+            leakage = LeakageModel.disabled()
+        return MemoryExperiment(
+            code=RotatedSurfaceCode(self.distance),
+            policy=resolve_policy(self.policy, **dict(self.policy_kwargs)),
+            noise=noise,
+            leakage=leakage,
+            rounds=self.rounds,
+            protocol=self.protocol,
+            decode=self.decode,
+            decoder_method=self.decoder_method,
+            seed=rng,
+            engine=self.engine,
+            batch_size=self.batch_size,
+        )
+
+    def run_chunk(self, index: int) -> MemoryExperimentResult:
+        """Run one chunk of this job on its own deterministic stream."""
+        shots = self.chunk_sizes()[index]
+        rng = np.random.default_rng(self.chunk_seed(index))
+        return self.build_experiment(rng).run(shots)
+
+    def run(self) -> MemoryExperimentResult:
+        """Run every chunk in-process and merge (the serial reference path)."""
+        return merge_chunk_results(
+            [self.run_chunk(index) for index in range(self.num_chunks)]
+        )
+
+
+def merge_chunk_results(
+    parts: Sequence[MemoryExperimentResult],
+) -> MemoryExperimentResult:
+    """Combine per-chunk results into the whole-job result.
+
+    Chunks must be passed in chunk order; the shot-weighted arithmetic is then
+    fixed, so merged statistics are identical no matter which backend (or
+    which worker interleaving) produced the parts.
+    """
+    if not parts:
+        raise ValueError("cannot merge zero chunk results")
+    first = parts[0]
+    if len(parts) == 1:
+        return first
+    total_shots = sum(part.shots for part in parts)
+    lpr_total = np.zeros_like(first.lpr_total)
+    lpr_data = np.zeros_like(first.lpr_data)
+    lpr_parity = np.zeros_like(first.lpr_parity)
+    speculation = first.speculation
+    logical_errors = 0
+    total_lrcs = 0.0
+    decode = first.logical_errors >= 0
+    for index, part in enumerate(parts):
+        if part.rounds != first.rounds or part.policy != first.policy:
+            raise ValueError("chunk results describe different configurations")
+        lpr_total += part.lpr_total * part.shots
+        lpr_data += part.lpr_data * part.shots
+        lpr_parity += part.lpr_parity * part.shots
+        total_lrcs += part.lrcs_per_round * part.shots * part.rounds
+        logical_errors += max(part.logical_errors, 0)
+        if index:
+            speculation = speculation.merge(part.speculation)
+    return MemoryExperimentResult(
+        policy=first.policy,
+        distance=first.distance,
+        rounds=first.rounds,
+        physical_error_rate=first.physical_error_rate,
+        shots=total_shots,
+        logical_errors=logical_errors if decode else -1,
+        lpr_total=lpr_total / total_shots,
+        lpr_data=lpr_data / total_shots,
+        lpr_parity=lpr_parity / total_shots,
+        lrcs_per_round=total_lrcs / (total_shots * first.rounds),
+        speculation=speculation,
+        metadata=dict(first.metadata),
+    )
+
+
+def resolve_rounds(distance: int, cycles: Optional[int], rounds: Optional[int]) -> int:
+    """Normalise the paper's ``cycles`` convention (1 cycle = d rounds)."""
+    if rounds is not None:
+        return int(rounds)
+    if cycles is None:
+        raise ValueError("provide either rounds or cycles")
+    return int(cycles) * int(distance)
+
+
+def root_entropy(seed: RngLike) -> int:
+    """Derive the plan-level entropy from any accepted seed form.
+
+    Integers pass through (so identical user seeds address identical cache
+    entries); ``None`` draws fresh OS entropy (unseeded sweeps stay random
+    between invocations but remain internally deterministic); a live
+    ``Generator`` contributes one draw from its stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63))
+    entropy = np.random.SeedSequence(seed).entropy
+    return int(entropy)
+
+
+@dataclass
+class SweepPlan:
+    """An ordered list of jobs sharing one root seed derivation."""
+
+    jobs: List[SweepJob] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        configs: Sequence[Dict[str, object]],
+        seed: RngLike = None,
+        chunk_shots: Optional[int] = None,
+    ) -> "SweepPlan":
+        """Turn a list of configuration dicts into seeded jobs.
+
+        Each config supplies ``distance``, ``policy``, ``shots`` and either
+        ``cycles`` or ``rounds``, plus any optional :class:`SweepJob` field.
+        Job ``i`` receives spawn key ``(i,)`` under the shared root entropy.
+        """
+        entropy = root_entropy(seed)
+        chunk = DEFAULT_CHUNK_SHOTS if chunk_shots is None else int(chunk_shots)
+        if chunk < 1:
+            raise ValueError("chunk_shots must be >= 1")
+        jobs = []
+        for index, config in enumerate(configs):
+            config = dict(config)
+            distance = int(config.pop("distance"))
+            cycles = config.pop("cycles", None)
+            rounds = resolve_rounds(distance, cycles, config.pop("rounds", None))
+            transport = config.pop("transport_model", LeakageTransportModel.REMAIN)
+            if isinstance(transport, LeakageTransportModel):
+                transport = transport.value
+            policy_kwargs = config.pop("policy_kwargs", None) or {}
+            policy = canonical_policy_name(str(config.pop("policy")))
+            jobs.append(
+                SweepJob(
+                    distance=distance,
+                    policy=policy,
+                    rounds=rounds,
+                    transport_model=str(transport),
+                    policy_kwargs=tuple(sorted(policy_kwargs.items())),
+                    seed_entropy=entropy,
+                    spawn_key=(index,),
+                    chunk_shots=chunk,
+                    **config,
+                )
+            )
+        return cls(jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[SweepJob]:
+        return iter(self.jobs)
+
+    @property
+    def total_shots(self) -> int:
+        return sum(job.shots for job in self.jobs)
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(job.num_chunks for job in self.jobs)
+
+    def with_seed(self, seed: RngLike) -> "SweepPlan":
+        """The same grid re-derived from a different root seed."""
+        entropy = root_entropy(seed)
+        return SweepPlan([replace(job, seed_entropy=entropy) for job in self.jobs])

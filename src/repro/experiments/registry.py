@@ -1,15 +1,99 @@
 """Registry mapping every paper table/figure to its reproduction entry point.
 
-This is the machine-readable form of the per-experiment index in DESIGN.md:
-each entry names the workload, the modules that implement it, and the
-benchmark that regenerates it, so tooling (the CLI's ``experiments``
-subcommand, documentation builds, CI) can enumerate the full evaluation.
+This is the machine-readable index of the paper's evaluation (the experiment
+list that used to live in prose documentation): each entry names the workload,
+the modules that implement it, and the benchmark that regenerates it, so
+tooling (the CLI's ``experiments`` subcommand, documentation builds, CI) can
+enumerate the full evaluation.
+
+Monte-Carlo experiments additionally know how to *plan* themselves: their
+:class:`ExperimentSpec` carries a builder that emits a
+:class:`~repro.experiments.jobs.SweepPlan`, so ``eraser-repro experiments run
+fig14 --jobs 4 --cache-dir cache/`` is a one-command, parallel, cached (and
+therefore resumable) reproduction of that figure's data.  Analytic,
+density-matrix and hardware entries have no plan and point at their benchmark
+instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments.jobs import SweepPlan
+from repro.noise.leakage import LeakageTransportModel
+from repro.sim.rng import RngLike
+
+#: Distances the paper sweeps; plans keep those ``<= max_distance``.
+_PAPER_DISTANCES = (3, 5, 7, 9, 11)
+
+
+def _distances(max_distance: int) -> list:
+    """Valid (odd, >= 3) paper distances up to ``max_distance``, never empty."""
+    selected = [d for d in _PAPER_DISTANCES if d <= max_distance]
+    return selected or [min(_PAPER_DISTANCES)]
+
+
+def _plan_fig2c(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    distance = _distances(max_distance)[0]
+    configs = [
+        dict(
+            distance=distance, policy="no-lrc", shots=shots, cycles=cycles,
+            leakage_enabled=leakage_enabled,
+        )
+        for leakage_enabled in (True, False)
+        for cycles in (1, 2, 3, 4, 5)
+    ]
+    return SweepPlan.build(configs, seed=seed, chunk_shots=chunk_shots)
+
+
+def _plan_fig5(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    from repro.experiments.sweep import lpr_time_series_plan
+
+    return lpr_time_series_plan(
+        distance=_distances(max_distance)[-1], policies=["always-lrc"], p=1e-3,
+        cycles=10, shots=shots, seed=seed, chunk_shots=chunk_shots,
+    )
+
+
+def _plan_fig6(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    from repro.experiments.sweep import ler_vs_cycles_plan
+
+    return ler_vs_cycles_plan(
+        _distances(max_distance)[-1], ["always-lrc", "optimal"],
+        cycles_list=[2, 6, 10], shots=shots, seed=seed, chunk_shots=chunk_shots,
+    )
+
+
+def _compare_plan(p, decode=True, transport=LeakageTransportModel.REMAIN):
+    def build(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+        from repro.experiments.sweep import DEFAULT_POLICIES, compare_policies_plan
+
+        return compare_policies_plan(
+            distances=_distances(max_distance), policies=DEFAULT_POLICIES, p=p,
+            cycles=10, shots=shots, decode=decode, transport_model=transport,
+            seed=seed, chunk_shots=chunk_shots,
+        )
+
+    return build
+
+
+def _plan_fig15(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    from repro.experiments.sweep import DEFAULT_POLICIES, lpr_time_series_plan
+
+    return lpr_time_series_plan(
+        distance=_distances(max_distance)[-1], policies=DEFAULT_POLICIES,
+        p=1e-3, cycles=10, shots=shots, seed=seed, chunk_shots=chunk_shots,
+    )
+
+
+def _plan_fig20(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    from repro.dqlr.protocol import dqlr_comparison_plan
+
+    return dqlr_comparison_plan(
+        distances=_distances(max_distance), p=1e-3, cycles=10, shots=shots,
+        seed=seed, chunk_shots=chunk_shots,
+    )
 
 
 @dataclass(frozen=True)
@@ -22,6 +106,9 @@ class ExperimentSpec:
         workload: Workload and key parameters used by the paper.
         modules: Library modules implementing the pieces.
         benchmark: Benchmark file that regenerates the data.
+        plan: Optional builder ``(shots, max_distance, seed, chunk_shots) ->
+            SweepPlan`` for Monte-Carlo experiments; ``None`` for analytic /
+            density-matrix / hardware entries, which run via their benchmark.
     """
 
     experiment_id: str
@@ -29,6 +116,26 @@ class ExperimentSpec:
     workload: str
     modules: Tuple[str, ...]
     benchmark: str
+    plan: Optional[Callable[..., SweepPlan]] = field(default=None, compare=False)
+
+    @property
+    def has_plan(self) -> bool:
+        return self.plan is not None
+
+    def make_plan(
+        self,
+        shots: int = 200,
+        max_distance: int = 5,
+        seed: RngLike = None,
+        chunk_shots: Optional[int] = None,
+    ) -> SweepPlan:
+        """Emit this experiment's sweep plan (raises for plan-less entries)."""
+        if self.plan is None:
+            raise ValueError(
+                f"experiment {self.experiment_id!r} has no sweep plan; "
+                f"run its benchmark instead: {self.benchmark}"
+            )
+        return self.plan(shots, max_distance, seed, chunk_shots)
 
 
 _SPECS = (
@@ -38,6 +145,7 @@ _SPECS = (
         "memory-Z, d=3 (paper: d=7), p=1e-3, 1-5 QEC cycles, with/without leakage",
         ("repro.experiments.sweep", "repro.core.policies"),
         "benchmarks/bench_fig02_leakage_impact.py",
+        plan=_plan_fig2c,
     ),
     ExperimentSpec(
         "eq1-2",
@@ -59,6 +167,7 @@ _SPECS = (
         "memory-Z, d=5 (paper: d=7), p=1e-3, 10 cycles",
         ("repro.experiments.memory", "repro.core.policies.always_lrc"),
         "benchmarks/bench_fig05_lpr_always.py",
+        plan=_plan_fig5,
     ),
     ExperimentSpec(
         "fig6",
@@ -66,6 +175,7 @@ _SPECS = (
         "memory-Z, d=5 (paper: d=7), p=1e-3, 10 cycles",
         ("repro.experiments.sweep", "repro.core.policies.optimal"),
         "benchmarks/bench_fig06_always_vs_optimal.py",
+        plan=_plan_fig6,
     ),
     ExperimentSpec(
         "fig8",
@@ -80,6 +190,7 @@ _SPECS = (
         "memory-Z, d=3..11 (default 3..5), 10 cycles",
         ("repro.experiments.sweep", "repro.core.policies", "repro.decoder"),
         "benchmarks/bench_fig14_ler_vs_distance.py",
+        plan=_compare_plan(1e-3),
     ),
     ExperimentSpec(
         "fig14b",
@@ -87,6 +198,7 @@ _SPECS = (
         "memory-Z, d=3..5, 10 cycles",
         ("repro.experiments.sweep",),
         "benchmarks/bench_fig14b_low_error_rate.py",
+        plan=_compare_plan(1e-4),
     ),
     ExperimentSpec(
         "fig15",
@@ -94,6 +206,7 @@ _SPECS = (
         "memory-Z, d=5 (paper: d=11), p=1e-3, 10 cycles",
         ("repro.experiments.sweep",),
         "benchmarks/bench_fig15_lpr_policies.py",
+        plan=_plan_fig15,
     ),
     ExperimentSpec(
         "fig16",
@@ -101,6 +214,7 @@ _SPECS = (
         "memory-Z, d=3..5 (paper: 3..11), p=1e-3, 10 cycles",
         ("repro.experiments.metrics", "repro.core.lsb"),
         "benchmarks/bench_fig16_speculation.py",
+        plan=_compare_plan(1e-3, decode=False),
     ),
     ExperimentSpec(
         "table3",
@@ -115,6 +229,7 @@ _SPECS = (
         "memory-Z, d=3..5 (paper: 3..11), p=1e-3, 10 cycles",
         ("repro.experiments.sweep",),
         "benchmarks/bench_table4_lrc_counts.py",
+        plan=_compare_plan(1e-3),
     ),
     ExperimentSpec(
         "fig17",
@@ -122,6 +237,7 @@ _SPECS = (
         "memory-Z, d=3..5, p=1e-3, exchange transport",
         ("repro.noise.leakage", "repro.experiments.sweep"),
         "benchmarks/bench_fig17_alt_transport.py",
+        plan=_compare_plan(1e-3, transport=LeakageTransportModel.EXCHANGE),
     ),
     ExperimentSpec(
         "fig20",
@@ -129,6 +245,7 @@ _SPECS = (
         "memory-Z, d=3..5, p=1e-3, DQLR protocol, exchange transport",
         ("repro.dqlr.protocol", "repro.core.qsg"),
         "benchmarks/bench_fig20_dqlr.py",
+        plan=_plan_fig20,
     ),
     ExperimentSpec(
         "ablations",
@@ -156,7 +273,8 @@ def format_experiment_index() -> str:
     """Plain-text index of every experiment (used by the CLI)."""
     lines = []
     for spec in _SPECS:
-        lines.append(f"{spec.experiment_id:<10s} {spec.title}")
+        runnable = "  [experiments run]" if spec.has_plan else ""
+        lines.append(f"{spec.experiment_id:<10s} {spec.title}{runnable}")
         lines.append(f"{'':<10s}   workload : {spec.workload}")
         lines.append(f"{'':<10s}   modules  : {', '.join(spec.modules)}")
         lines.append(f"{'':<10s}   benchmark: {spec.benchmark}")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +74,73 @@ class MemoryExperimentResult:
         if self.lpr_total.size == 0:
             return float("nan")
         return float(self.lpr_total[-1])
+
+    def to_state(self) -> "Tuple[Dict[str, object], Dict[str, np.ndarray]]":
+        """Lossless serialised form: ``(scalars, arrays)``.
+
+        The scalar part is JSON-serialisable; the arrays go into an ``.npz``
+        archive.  Together they round-trip through
+        :meth:`from_state` exactly (used by the on-disk result store).
+        """
+        scalars = {
+            "policy": self.policy,
+            "distance": self.distance,
+            "rounds": self.rounds,
+            "physical_error_rate": self.physical_error_rate,
+            "shots": self.shots,
+            "logical_errors": self.logical_errors,
+            "lrcs_per_round": self.lrcs_per_round,
+            "speculation": [
+                self.speculation.true_positive,
+                self.speculation.false_positive,
+                self.speculation.true_negative,
+                self.speculation.false_negative,
+            ],
+            "metadata": dict(self.metadata),
+        }
+        arrays = {
+            "lpr_total": np.asarray(self.lpr_total, dtype=np.float64),
+            "lpr_data": np.asarray(self.lpr_data, dtype=np.float64),
+            "lpr_parity": np.asarray(self.lpr_parity, dtype=np.float64),
+        }
+        return scalars, arrays
+
+    @classmethod
+    def from_state(
+        cls, scalars: Dict[str, object], arrays: Dict[str, np.ndarray]
+    ) -> "MemoryExperimentResult":
+        """Rebuild a result from the output of :meth:`to_state`."""
+        tp, fp, tn, fn = (int(v) for v in scalars["speculation"])
+        return cls(
+            policy=str(scalars["policy"]),
+            distance=int(scalars["distance"]),
+            rounds=int(scalars["rounds"]),
+            physical_error_rate=float(scalars["physical_error_rate"]),
+            shots=int(scalars["shots"]),
+            logical_errors=int(scalars["logical_errors"]),
+            lpr_total=np.asarray(arrays["lpr_total"], dtype=np.float64),
+            lpr_data=np.asarray(arrays["lpr_data"], dtype=np.float64),
+            lpr_parity=np.asarray(arrays["lpr_parity"], dtype=np.float64),
+            lrcs_per_round=float(scalars["lrcs_per_round"]),
+            speculation=SpeculationCounts(tp, fp, tn, fn),
+            metadata=dict(scalars.get("metadata", {})),
+        )
+
+    def statistically_equal(self, other: "MemoryExperimentResult") -> bool:
+        """Exact equality of every aggregate statistic (arrays bit-for-bit)."""
+        return (
+            self.policy == other.policy
+            and self.distance == other.distance
+            and self.rounds == other.rounds
+            and self.physical_error_rate == other.physical_error_rate
+            and self.shots == other.shots
+            and self.logical_errors == other.logical_errors
+            and self.lrcs_per_round == other.lrcs_per_round
+            and self.speculation == other.speculation
+            and np.array_equal(self.lpr_total, other.lpr_total)
+            and np.array_equal(self.lpr_data, other.lpr_data)
+            and np.array_equal(self.lpr_parity, other.lpr_parity)
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dictionary form suitable for JSON/CSV serialisation."""

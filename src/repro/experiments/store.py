@@ -1,0 +1,155 @@
+"""Content-addressed on-disk store for memory-experiment results.
+
+Every :class:`~repro.experiments.jobs.SweepJob` is fully described by a plain
+configuration dictionary — including its seed material (plan entropy plus the
+job's spawn key) — so the result of running it is addressed by the SHA-256
+hash of that dictionary's canonical JSON form.  A sweep pointed at a cache
+directory can therefore skip every configuration it has already computed,
+across processes and across invocations.  Because the spawn key encodes the
+job's position in its plan, reuse requires rebuilding the same plan (or a
+plan whose leading jobs match) with the same explicit seed; a sweep that
+shuffles its grid or draws fresh entropy addresses different entries.
+
+Each entry is a pair of files under the store root::
+
+    <hash>.npz    per-round LPR arrays (written first)
+    <hash>.json   scalar statistics + the originating config (written last)
+
+Both files are written atomically (temp file + ``os.replace``) and the JSON
+file acts as the commit marker: an entry is complete only when its JSON file
+parses and its arrays load.  :meth:`ResultStore.load` treats missing, torn, or
+corrupt entries as cache misses, which is what makes interrupted sweeps safely
+resumable — rerunning the sweep recomputes exactly the incomplete entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.experiments.results import MemoryExperimentResult
+
+#: Bump when the on-disk layout changes; mismatched entries read as misses.
+STORE_FORMAT_VERSION = 1
+
+#: Directory used when a sweep asks for resumption without naming a cache.
+DEFAULT_CACHE_DIR = ".eraser-repro-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache directory implied by ``resume`` without an explicit path."""
+    return os.environ.get("ERASER_REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+def canonical_config_json(config: Dict[str, object]) -> str:
+    """Canonical JSON form of a job configuration (sorted keys, no spaces)."""
+    return json.dumps(config, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: Dict[str, object]) -> str:
+    """SHA-256 content address of a job configuration.
+
+    Stable across processes and platforms: the hash covers the canonical JSON
+    of the configuration, which contains only primitives (including the
+    derived seed material), never object identities.
+    """
+    return hashlib.sha256(canonical_config_json(config).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Filesystem-backed map from config hash to saved experiment result."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def json_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def npz_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def contains(self, key: str) -> bool:
+        """Whether a *complete* entry exists for ``key``."""
+        return self.load(key) is not None
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def keys(self) -> Iterator[str]:
+        """Hashes of every committed (JSON-present) entry."""
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=f".{path.stem}-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def save(
+        self,
+        key: str,
+        result: MemoryExperimentResult,
+        config: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Persist ``result`` under ``key`` (arrays first, JSON as commit)."""
+        scalars, arrays = result.to_state()
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        self._atomic_write(self.npz_path(key), buffer.getvalue())
+        payload = {
+            "format": STORE_FORMAT_VERSION,
+            "key": key,
+            "config": config,
+            "result": scalars,
+        }
+        self._atomic_write(
+            self.json_path(key), json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+        )
+
+    def load(self, key: str) -> Optional[MemoryExperimentResult]:
+        """Return the stored result, or ``None`` for missing/torn entries."""
+        try:
+            with open(self.json_path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("format") != STORE_FORMAT_VERSION:
+                return None
+            scalars = payload["result"]
+            with np.load(self.npz_path(key)) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+            return MemoryExperimentResult.from_state(scalars, arrays)
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError, zipfile.BadZipFile):
+            return None
+
+    def remove(self, key: str) -> None:
+        """Delete an entry (JSON first so readers never see a torn commit)."""
+        for path in (self.json_path(key), self.npz_path(key)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass

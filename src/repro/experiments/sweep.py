@@ -1,7 +1,6 @@
-"""Parameter sweeps used by the benchmark harness and the examples.
+"""Parameter sweeps used by the CLI, the benchmark harness and the examples.
 
-These helpers wrap :class:`~repro.experiments.memory.MemoryExperiment` so that
-every table and figure of the paper can be regenerated with a single call:
+Every table and figure of the paper can be regenerated with a single call:
 
 * :func:`ler_vs_distance` — Figure 14 / 17 / 20 style sweeps (LER vs distance
   for several policies),
@@ -9,34 +8,124 @@ every table and figure of the paper can be regenerated with a single call:
   population ratio traces,
 * :func:`compare_policies` — a general sweep returning a
   :class:`~repro.experiments.results.PolicySweepResult`.
+
+Sweeps are *planned* and then *executed*.  Each helper has a ``*_plan``
+twin that expands the parameter grid into a
+:class:`~repro.experiments.jobs.SweepPlan` — one seeded
+:class:`~repro.experiments.jobs.SweepJob` per configuration, with child seeds
+fanned out via ``numpy.random.SeedSequence.spawn`` — and the sweep itself
+hands the plan to a :class:`~repro.experiments.executor.SweepExecutor`.  All
+helpers therefore share three orchestration knobs:
+
+* ``jobs`` — worker processes (``1`` = in-process; results are bit-identical
+  either way),
+* ``cache_dir`` — content-addressed on-disk result cache; reruns of any
+  configuration already computed there skip its Monte-Carlo work entirely,
+* ``resume`` — reuse the default cache directory so an interrupted sweep
+  continues from the configurations already finished.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.codes.rotated_surface import RotatedSurfaceCode
-from repro.core.policies import make_policy
 from repro.core.qsg import PROTOCOL_SWAP
-from repro.experiments.memory import MemoryExperiment
+from repro.experiments.executor import SweepExecutor, warn_unseeded_cache
+from repro.experiments.jobs import SweepJob, SweepPlan
 from repro.experiments.results import MemoryExperimentResult, PolicySweepResult
-from repro.noise.leakage import LeakageModel, LeakageTransportModel
-from repro.noise.model import NoiseParams
-from repro.sim.rng import RngLike, make_rng
+from repro.noise.leakage import LeakageTransportModel
+from repro.sim.rng import RngLike
 
 DEFAULT_POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
 
 
-def _make_leakage(
+def _executor(
+    jobs: int,
+    cache_dir: Optional[str],
+    resume: bool,
+    executor: Optional[SweepExecutor],
+    seed: RngLike = None,
+) -> SweepExecutor:
+    if executor is not None:
+        return executor
+    warn_unseeded_cache(seed, cache_dir, resume)
+    return SweepExecutor(jobs=jobs, cache_dir=cache_dir, resume=resume)
+
+
+def _config(
+    distance: int,
+    policy_name: str,
     p: float,
-    leakage_enabled: bool,
-    transport_model: LeakageTransportModel,
-) -> LeakageModel:
-    if not leakage_enabled:
-        return LeakageModel.disabled()
-    return LeakageModel.standard(p, transport_model=transport_model)
+    shots: int,
+    cycles: Optional[int] = None,
+    rounds: Optional[int] = None,
+    leakage_enabled: bool = True,
+    transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
+    protocol: str = PROTOCOL_SWAP,
+    decode: bool = True,
+    decoder_method: str = "auto",
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
+) -> Dict[str, object]:
+    """One grid point in the dict form consumed by :meth:`SweepPlan.build`."""
+    return dict(
+        distance=distance,
+        policy=policy_name,
+        p=p,
+        shots=shots,
+        cycles=cycles,
+        rounds=rounds,
+        leakage_enabled=leakage_enabled,
+        transport_model=transport_model,
+        protocol=protocol,
+        decode=decode,
+        decoder_method=decoder_method,
+        engine=engine,
+        batch_size=batch_size,
+    )
+
+
+def run_single_plan(
+    distance: int,
+    policy_name: str,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 100,
+    leakage_enabled: bool = True,
+    transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
+    protocol: str = PROTOCOL_SWAP,
+    decode: bool = True,
+    decoder_method: str = "auto",
+    seed: RngLike = None,
+    rounds: Optional[int] = None,
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
+    chunk_shots: Optional[int] = None,
+) -> SweepPlan:
+    """A one-job plan for a single (distance, policy) configuration."""
+    return SweepPlan.build(
+        [
+            _config(
+                distance,
+                policy_name,
+                p,
+                shots,
+                cycles=cycles if rounds is None else None,
+                rounds=rounds,
+                leakage_enabled=leakage_enabled,
+                transport_model=transport_model,
+                protocol=protocol,
+                decode=decode,
+                decoder_method=decoder_method,
+                engine=engine,
+                batch_size=batch_size,
+            )
+        ],
+        seed=seed,
+        chunk_shots=chunk_shots,
+    )
 
 
 def run_single(
@@ -54,26 +143,69 @@ def run_single(
     rounds: Optional[int] = None,
     engine: str = "auto",
     batch_size: Optional[int] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    chunk_shots: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> MemoryExperimentResult:
     """Run one (distance, policy) configuration and return its result."""
-    code = RotatedSurfaceCode(distance)
-    noise = NoiseParams.standard(p)
-    leakage = _make_leakage(p, leakage_enabled, transport_model)
-    experiment = MemoryExperiment(
-        code=code,
-        policy=make_policy(policy_name),
-        noise=noise,
-        leakage=leakage,
-        rounds=rounds,
-        cycles=cycles if rounds is None else None,
+    plan = run_single_plan(
+        distance=distance,
+        policy_name=policy_name,
+        p=p,
+        cycles=cycles,
+        shots=shots,
+        leakage_enabled=leakage_enabled,
+        transport_model=transport_model,
         protocol=protocol,
         decode=decode,
         decoder_method=decoder_method,
         seed=seed,
+        rounds=rounds,
         engine=engine,
         batch_size=batch_size,
+        chunk_shots=chunk_shots,
     )
-    return experiment.run(shots)
+    return _executor(jobs, cache_dir, resume, executor, seed).run(plan)[0]
+
+
+def compare_policies_plan(
+    distances: Sequence[int],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 100,
+    leakage_enabled: bool = True,
+    transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
+    protocol: str = PROTOCOL_SWAP,
+    decode: bool = True,
+    decoder_method: str = "auto",
+    seed: RngLike = None,
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
+    chunk_shots: Optional[int] = None,
+) -> SweepPlan:
+    """The (distance x policy) grid behind Figures 14-17 and 20 as a plan."""
+    configs = [
+        _config(
+            distance,
+            policy_name,
+            p,
+            shots,
+            cycles=cycles,
+            leakage_enabled=leakage_enabled,
+            transport_model=transport_model,
+            protocol=protocol,
+            decode=decode,
+            decoder_method=decoder_method,
+            engine=engine,
+            batch_size=batch_size,
+        )
+        for distance in distances
+        for policy_name in policies
+    ]
+    return SweepPlan.build(configs, seed=seed, chunk_shots=chunk_shots)
 
 
 def compare_policies(
@@ -90,29 +222,31 @@ def compare_policies(
     seed: RngLike = None,
     engine: str = "auto",
     batch_size: Optional[int] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    chunk_shots: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> PolicySweepResult:
     """Sweep policies across code distances (the shape behind Figures 14-17, 20)."""
-    rng = make_rng(seed)
-    sweep = PolicySweepResult()
-    for distance in distances:
-        for policy_name in policies:
-            result = run_single(
-                distance=distance,
-                policy_name=policy_name,
-                p=p,
-                cycles=cycles,
-                shots=shots,
-                leakage_enabled=leakage_enabled,
-                transport_model=transport_model,
-                protocol=protocol,
-                decode=decode,
-                decoder_method=decoder_method,
-                seed=rng,
-                engine=engine,
-                batch_size=batch_size,
-            )
-            sweep.add(result)
-    return sweep
+    plan = compare_policies_plan(
+        distances=distances,
+        policies=policies,
+        p=p,
+        cycles=cycles,
+        shots=shots,
+        leakage_enabled=leakage_enabled,
+        transport_model=transport_model,
+        protocol=protocol,
+        decode=decode,
+        decoder_method=decoder_method,
+        seed=seed,
+        engine=engine,
+        batch_size=batch_size,
+        chunk_shots=chunk_shots,
+    )
+    results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
+    return PolicySweepResult(list(results))
 
 
 def ler_vs_distance(
@@ -123,6 +257,38 @@ def ler_vs_distance(
     """Logical error rate per policy per distance (Figure 14 series)."""
     sweep = compare_policies(distances, policies, decode=True, **kwargs)
     return sweep.ler_table()
+
+
+def lpr_time_series_plan(
+    distance: int,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 50,
+    transport_model: LeakageTransportModel = LeakageTransportModel.REMAIN,
+    protocol: str = PROTOCOL_SWAP,
+    seed: RngLike = None,
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
+    chunk_shots: Optional[int] = None,
+) -> SweepPlan:
+    """The per-policy LPR trace sweep as a plan (decoding disabled)."""
+    configs = [
+        _config(
+            distance,
+            policy_name,
+            p,
+            shots,
+            cycles=cycles,
+            transport_model=transport_model,
+            protocol=protocol,
+            decode=False,
+            engine=engine,
+            batch_size=batch_size,
+        )
+        for policy_name in policies
+    ]
+    return SweepPlan.build(configs, seed=seed, chunk_shots=chunk_shots)
 
 
 def lpr_time_series(
@@ -136,30 +302,64 @@ def lpr_time_series(
     seed: RngLike = None,
     engine: str = "auto",
     batch_size: Optional[int] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    chunk_shots: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, np.ndarray]:
     """Per-round leakage population ratio per policy (Figures 5, 15, 18, 21).
 
     Decoding is disabled because the LPR does not depend on it, which makes
     these long time-series sweeps much faster.
     """
-    rng = make_rng(seed)
-    series: Dict[str, np.ndarray] = {}
-    for policy_name in policies:
-        result = run_single(
-            distance=distance,
-            policy_name=policy_name,
-            p=p,
+    plan = lpr_time_series_plan(
+        distance=distance,
+        policies=policies,
+        p=p,
+        cycles=cycles,
+        shots=shots,
+        transport_model=transport_model,
+        protocol=protocol,
+        seed=seed,
+        engine=engine,
+        batch_size=batch_size,
+        chunk_shots=chunk_shots,
+    )
+    results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
+    return {result.policy: result.lpr_total for result in results}
+
+
+def ler_vs_cycles_plan(
+    distance: int,
+    policies: Sequence[str],
+    cycles_list: Sequence[int],
+    p: float = 1e-3,
+    shots: int = 100,
+    leakage_enabled: bool = True,
+    decoder_method: str = "auto",
+    seed: RngLike = None,
+    engine: str = "auto",
+    batch_size: Optional[int] = None,
+    chunk_shots: Optional[int] = None,
+) -> SweepPlan:
+    """The (cycles x policy) grid behind Figures 1(c), 2(c) and 6 as a plan."""
+    configs = [
+        _config(
+            distance,
+            policy_name,
+            p,
+            shots,
             cycles=cycles,
-            shots=shots,
-            transport_model=transport_model,
-            protocol=protocol,
-            decode=False,
-            seed=rng,
+            leakage_enabled=leakage_enabled,
+            decoder_method=decoder_method,
             engine=engine,
             batch_size=batch_size,
         )
-        series[result.policy] = result.lpr_total
-    return series
+        for cycles in cycles_list
+        for policy_name in policies
+    ]
+    return SweepPlan.build(configs, seed=seed, chunk_shots=chunk_shots)
 
 
 def ler_vs_cycles(
@@ -173,23 +373,29 @@ def ler_vs_cycles(
     decoder_method: str = "auto",
     engine: str = "auto",
     batch_size: Optional[int] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    chunk_shots: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, Dict[int, float]]:
     """LER as a function of the number of QEC cycles (Figures 1(c), 2(c), 6)."""
-    rng = make_rng(seed)
+    plan = ler_vs_cycles_plan(
+        distance=distance,
+        policies=policies,
+        cycles_list=cycles_list,
+        p=p,
+        shots=shots,
+        leakage_enabled=leakage_enabled,
+        decoder_method=decoder_method,
+        seed=seed,
+        engine=engine,
+        batch_size=batch_size,
+        chunk_shots=chunk_shots,
+    )
+    results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
     table: Dict[str, Dict[int, float]] = {}
-    for cycles in cycles_list:
-        for policy_name in policies:
-            result = run_single(
-                distance=distance,
-                policy_name=policy_name,
-                p=p,
-                cycles=cycles,
-                shots=shots,
-                leakage_enabled=leakage_enabled,
-                decoder_method=decoder_method,
-                seed=rng,
-                engine=engine,
-                batch_size=batch_size,
-            )
-            table.setdefault(result.policy, {})[cycles] = result.logical_error_rate
+    for result in results:
+        cycles = result.rounds // result.distance
+        table.setdefault(result.policy, {})[cycles] = result.logical_error_rate
     return table

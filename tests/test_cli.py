@@ -15,6 +15,26 @@ class TestParser:
         args = build_parser().parse_args(["ler"])
         assert args.distances == [3, 5]
         assert args.shots == 100
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.resume is False
+        assert args.chunk_shots is None
+
+    def test_orchestration_flags_parse(self):
+        args = build_parser().parse_args(
+            ["ler", "--jobs", "4", "--cache-dir", "cache/", "--resume",
+             "--chunk-shots", "64"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "cache/"
+        assert args.resume is True
+        assert args.chunk_shots == 64
+
+    def test_experiments_run_defaults(self):
+        args = build_parser().parse_args(["experiments", "run", "fig14"])
+        assert args.action == "run"
+        assert args.experiment_id == "fig14"
+        assert args.jobs == 1
 
     def test_rtl_arguments(self):
         args = build_parser().parse_args(["rtl", "--distance", "5", "--multilevel"])
@@ -93,6 +113,56 @@ class TestCommands:
         assert "fig14" in out
         assert "table3" in out
         assert "benchmark" in out
+
+    def test_experiments_run_executes_a_plan(self, capsys, tmp_path):
+        argv = [
+            "experiments", "run", "fig14",
+            "--shots", "4", "--max-distance", "3", "--seed", "0",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "eraser" in out
+        assert "0 cached" in out
+        # Second invocation is served entirely from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 cached, 0 executed (0 chunk(s))" in out
+
+    def test_experiments_run_skips_unfaithful_ler_table(self, capsys):
+        """fig2c varies cycles/leakage at one distance; a per-distance LER
+        table would collapse those rows, so it must not be printed."""
+        assert main(
+            ["experiments", "run", "fig2c", "--shots", "2", "--max-distance",
+             "3", "--seed", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "distance  " not in out  # series_table header absent
+        assert out.count("no-lrc") >= 10  # every grid row still listed
+
+    def test_experiments_run_without_plan_points_at_benchmark(self, capsys):
+        assert main(["experiments", "run", "table3"]) == 1
+        out = capsys.readouterr().out
+        assert "bench_table3_fpga.py" in out
+
+    def test_experiments_run_unknown_id(self, capsys):
+        assert main(["experiments", "run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_experiments_run_missing_id(self, capsys):
+        assert main(["experiments", "run"]) == 2
+
+    def test_ler_with_cache_and_jobs(self, capsys, tmp_path):
+        argv = [
+            "ler", "--distances", "3", "--cycles", "1", "--shots", "4",
+            "--policies", "eraser", "--seed", "0",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
 
     def test_lpr_command_small(self, capsys):
         code = main(

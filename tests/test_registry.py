@@ -43,6 +43,62 @@ class TestRegistryContents:
             assert key == spec.experiment_id
 
 
+class TestSweepPlans:
+    MONTE_CARLO = {
+        "fig2c", "fig5", "fig6", "fig14", "fig14b", "fig15", "fig16",
+        "table4", "fig17", "fig20",
+    }
+
+    def test_monte_carlo_experiments_have_plans(self):
+        for key in self.MONTE_CARLO:
+            assert EXPERIMENTS[key].has_plan, key
+
+    def test_non_monte_carlo_experiments_have_no_plan(self):
+        for key in set(EXPERIMENTS) - self.MONTE_CARLO:
+            assert not EXPERIMENTS[key].has_plan, key
+
+    def test_make_plan_emits_jobs(self):
+        plan = EXPERIMENTS["fig14"].make_plan(shots=8, max_distance=5, seed=1)
+        assert len(plan.jobs) == 8  # 2 distances x 4 policies
+        assert {job.distance for job in plan.jobs} == {3, 5}
+        assert all(job.shots == 8 for job in plan.jobs)
+
+    def test_make_plan_without_plan_raises(self):
+        with pytest.raises(ValueError, match="bench_table3"):
+            EXPERIMENTS["table3"].make_plan()
+
+    def test_fig20_plan_uses_dqlr_protocol(self):
+        plan = EXPERIMENTS["fig20"].make_plan(shots=4, max_distance=3, seed=1)
+        assert {job.protocol for job in plan.jobs} == {"dqlr"}
+        assert "dqlr" in {job.policy for job in plan.jobs}
+
+    def test_fig2c_plan_covers_both_leakage_settings(self):
+        plan = EXPERIMENTS["fig2c"].make_plan(shots=4, max_distance=3, seed=1)
+        assert {job.leakage_enabled for job in plan.jobs} == {True, False}
+        spawn_keys = [job.spawn_key for job in plan.jobs]
+        assert len(set(spawn_keys)) == len(spawn_keys)
+
+    def test_fig17_plan_uses_exchange_transport(self):
+        plan = EXPERIMENTS["fig17"].make_plan(shots=4, max_distance=3, seed=1)
+        assert {job.transport_model for job in plan.jobs} == {"exchange"}
+
+    def test_index_marks_runnable_experiments(self):
+        text = format_experiment_index()
+        assert "[experiments run]" in text
+
+    def test_plans_clamp_max_distance_to_valid_code_distances(self):
+        """--max-distance 4 (even) must clamp, not crash at execution time."""
+        for key in self.MONTE_CARLO:
+            plan = EXPERIMENTS[key].make_plan(shots=4, max_distance=4, seed=1)
+            distances = {job.distance for job in plan.jobs}
+            assert distances == {3}, key
+
+    def test_plans_survive_tiny_max_distance(self):
+        for key in self.MONTE_CARLO:
+            plan = EXPERIMENTS[key].make_plan(shots=4, max_distance=1, seed=1)
+            assert {job.distance for job in plan.jobs} == {3}, key
+
+
 class TestLookupAndFormatting:
     def test_get_experiment(self):
         spec = get_experiment("fig14")

@@ -1,0 +1,214 @@
+"""Tests for the job/plan layer of the sweep orchestration engine."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.jobs import (
+    DEFAULT_CHUNK_SHOTS,
+    SweepJob,
+    SweepPlan,
+    canonical_policy_name,
+    merge_chunk_results,
+    resolve_policy,
+    resolve_rounds,
+)
+
+
+def make_job(**overrides):
+    fields = dict(
+        distance=3, policy="eraser", shots=10, rounds=3, seed_entropy=42,
+        spawn_key=(0,), chunk_shots=4,
+    )
+    fields.update(overrides)
+    return SweepJob(**fields)
+
+
+class TestPolicyResolution:
+    def test_aliases_canonicalise(self):
+        assert canonical_policy_name("always") == "always-lrc"
+        assert canonical_policy_name("eraser+m") == "eraser+m"
+
+    def test_dqlr_baseline_resolves(self):
+        assert resolve_policy("dqlr").name == "dqlr"
+
+    def test_policy_kwargs_forwarded(self):
+        policy = resolve_policy("eraser", num_backups=3)
+        assert policy.name == "eraser"
+
+
+class TestResolveRounds:
+    def test_cycles_scale_with_distance(self):
+        assert resolve_rounds(5, cycles=10, rounds=None) == 50
+
+    def test_rounds_override(self):
+        assert resolve_rounds(5, cycles=10, rounds=7) == 7
+
+    def test_missing_both_raises(self):
+        with pytest.raises(ValueError):
+            resolve_rounds(5, cycles=None, rounds=None)
+
+
+class TestChunking:
+    def test_chunk_sizes_cover_shots(self):
+        job = make_job(shots=10, chunk_shots=4)
+        assert job.num_chunks == 3
+        assert job.chunk_sizes() == [4, 4, 2]
+
+    def test_single_chunk_when_shots_small(self):
+        job = make_job(shots=3, chunk_shots=100)
+        assert job.num_chunks == 1
+        assert job.chunk_sizes() == [3]
+
+    def test_chunk_seed_matches_seedsequence_spawn(self):
+        job = make_job()
+        spawned = job.seed_sequence().spawn(job.num_chunks)
+        for index in range(job.num_chunks):
+            direct = job.chunk_seed(index)
+            assert direct.generate_state(4).tolist() == spawned[index].generate_state(4).tolist()
+
+    def test_chunk_seed_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_job().chunk_seed(99)
+
+
+class TestPlanBuild:
+    def test_jobs_get_distinct_spawn_keys(self):
+        plan = SweepPlan.build(
+            [
+                dict(distance=3, policy="eraser", shots=5, cycles=1),
+                dict(distance=3, policy="always", shots=5, cycles=1),
+            ],
+            seed=7,
+        )
+        assert [job.spawn_key for job in plan.jobs] == [(0,), (1,)]
+        assert plan.jobs[0].seed_entropy == plan.jobs[1].seed_entropy == 7
+        assert plan.jobs[1].policy == "always-lrc"
+
+    def test_same_seed_same_plan_identity(self):
+        configs = [dict(distance=3, policy="eraser", shots=5, cycles=1)]
+        a = SweepPlan.build(configs, seed=11)
+        b = SweepPlan.build(configs, seed=11)
+        assert a.jobs[0].cache_key() == b.jobs[0].cache_key()
+
+    def test_different_seed_different_identity(self):
+        configs = [dict(distance=3, policy="eraser", shots=5, cycles=1)]
+        a = SweepPlan.build(configs, seed=11)
+        b = SweepPlan.build(configs, seed=12)
+        assert a.jobs[0].cache_key() != b.jobs[0].cache_key()
+
+    def test_unseeded_plans_differ_between_builds(self):
+        configs = [dict(distance=3, policy="eraser", shots=5, cycles=1)]
+        a = SweepPlan.build(configs, seed=None)
+        b = SweepPlan.build(configs, seed=None)
+        assert a.jobs[0].cache_key() != b.jobs[0].cache_key()
+
+    def test_generator_seed_accepted(self):
+        configs = [dict(distance=3, policy="eraser", shots=5, cycles=1)]
+        plan = SweepPlan.build(configs, seed=np.random.default_rng(3))
+        again = SweepPlan.build(configs, seed=np.random.default_rng(3))
+        assert plan.jobs[0].cache_key() == again.jobs[0].cache_key()
+
+    def test_chunk_shots_part_of_identity(self):
+        configs = [dict(distance=3, policy="eraser", shots=5, cycles=1)]
+        a = SweepPlan.build(configs, seed=1, chunk_shots=2)
+        b = SweepPlan.build(configs, seed=1, chunk_shots=3)
+        assert a.jobs[0].cache_key() != b.jobs[0].cache_key()
+
+    def test_default_chunk_shots(self):
+        plan = SweepPlan.build(
+            [dict(distance=3, policy="eraser", shots=5, cycles=1)], seed=1
+        )
+        assert plan.jobs[0].chunk_shots == DEFAULT_CHUNK_SHOTS
+
+    def test_invalid_chunk_shots_rejected(self):
+        configs = [dict(distance=3, policy="eraser", shots=5, cycles=1)]
+        for invalid in (0, -1):
+            with pytest.raises(ValueError, match="chunk_shots"):
+                SweepPlan.build(configs, seed=1, chunk_shots=invalid)
+
+    def test_totals(self):
+        plan = SweepPlan.build(
+            [
+                dict(distance=3, policy="eraser", shots=5, cycles=1),
+                dict(distance=3, policy="optimal", shots=7, cycles=1),
+            ],
+            seed=1,
+            chunk_shots=3,
+        )
+        assert plan.total_shots == 12
+        assert plan.total_chunks == 5
+
+    def test_with_seed_rederives_every_job(self):
+        plan = SweepPlan.build(
+            [dict(distance=3, policy="eraser", shots=5, cycles=1)], seed=1
+        )
+        reseeded = plan.with_seed(2)
+        assert reseeded.jobs[0].seed_entropy == 2
+        assert reseeded.jobs[0].spawn_key == plan.jobs[0].spawn_key
+
+
+class TestMergeChunkResults:
+    def test_merge_matches_direct_aggregation(self):
+        job = make_job(shots=10, chunk_shots=4)
+        parts = [job.run_chunk(index) for index in range(job.num_chunks)]
+        merged = merge_chunk_results(parts)
+        assert merged.shots == 10
+        assert merged.logical_errors == sum(p.logical_errors for p in parts)
+        expected_lpr = sum(p.lpr_total * p.shots for p in parts) / 10
+        np.testing.assert_array_equal(merged.lpr_total, expected_lpr)
+        assert merged.speculation.total == sum(p.speculation.total for p in parts)
+
+    def test_merge_single_part_is_identity(self):
+        job = make_job(shots=4, chunk_shots=8)
+        part = job.run_chunk(0)
+        assert merge_chunk_results([part]) is part
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_chunk_results([])
+
+    def test_merge_mismatched_configs_raises(self):
+        a = make_job(shots=4, chunk_shots=8).run_chunk(0)
+        b = make_job(shots=4, chunk_shots=8, rounds=6).run_chunk(0)
+        with pytest.raises(ValueError):
+            merge_chunk_results([a, b])
+
+    def test_merge_decode_disabled_stays_disabled(self):
+        job = make_job(shots=6, chunk_shots=3, decode=False)
+        merged = job.run()
+        assert merged.logical_errors == -1
+
+
+class TestJobExecution:
+    def test_run_is_deterministic(self):
+        job = make_job(shots=6, chunk_shots=3)
+        a = job.run()
+        b = job.run()
+        assert a.statistically_equal(b)
+
+    def test_chunk_independent_of_other_chunks(self):
+        """Chunk 1's stream must not depend on whether chunk 0 ran."""
+        job = make_job(shots=8, chunk_shots=4)
+        only_second = job.run_chunk(1)
+        job.run_chunk(0)
+        again = job.run_chunk(1)
+        assert only_second.statistically_equal(again)
+
+    def test_policy_kwargs_reach_the_policy(self):
+        plan = SweepPlan.build(
+            [
+                dict(
+                    distance=3, policy="eraser", shots=4, cycles=1,
+                    policy_kwargs={"speculation_threshold_override": 1},
+                ),
+                dict(
+                    distance=3, policy="eraser", shots=4, cycles=1,
+                    policy_kwargs={"speculation_threshold_override": 4},
+                ),
+            ],
+            seed=5,
+        )
+        assert plan.jobs[0].cache_key() != plan.jobs[1].cache_key()
+        conservative = plan.jobs[0].run()
+        aggressive = plan.jobs[1].run()
+        assert conservative.lrcs_per_round >= aggressive.lrcs_per_round
