@@ -13,61 +13,27 @@ from conftest import emit
 
 from repro.analysis.tables import format_table
 from repro.experiments.executor import SweepExecutor
-from repro.experiments.jobs import SweepPlan
-
-THRESHOLDS = (1, 2, 4)
-BACKUPS = (0, 1, 3)
-MATCHERS = ("mwpm", "greedy")
-
-
-def _config(distance, shots, **overrides):
-    config = dict(distance=distance, policy="eraser", shots=shots, p=1e-3, cycles=10)
-    config.update(overrides)
-    return config
+from repro.experiments.sweep import ablation_label, ablation_plan
 
 
 def _run(distance, shots, seed, sweep_opts):
-    configs = (
-        [
-            _config(distance, shots, policy_kwargs={"speculation_threshold_override": t})
-            for t in THRESHOLDS
-        ]
-        + [_config(distance, shots, policy_kwargs={"num_backups": b}) for b in BACKUPS]
-        + [
-            _config(distance, max(10, shots // 2), decoder_method=m)
-            for m in MATCHERS
-        ]
-    )
-    plan = SweepPlan.build(configs, seed=seed)
+    # Same grid as `eraser-repro report --ids ablations` and the registry's
+    # `experiments run ablations`: the axes live in repro.experiments.sweep.
+    plan = ablation_plan(distance, shots, seed=seed)
     results = SweepExecutor(**sweep_opts).run(plan)
-    threshold_results = dict(zip(THRESHOLDS, results[: len(THRESHOLDS)]))
-    backup_results = dict(
-        zip(BACKUPS, results[len(THRESHOLDS): len(THRESHOLDS) + len(BACKUPS)])
-    )
-    matcher_results = dict(zip(MATCHERS, results[len(THRESHOLDS) + len(BACKUPS):]))
-    return threshold_results, backup_results, matcher_results
+    return plan, results
 
 
 def test_ablation_design_choices(benchmark, shots, max_distance, seed, sweep_opts):
     distance = min(max_distance, 5)
-    thresholds, backups, matchers = benchmark.pedantic(
+    plan, results = benchmark.pedantic(
         _run, args=(distance, shots, seed, sweep_opts), iterations=1, rounds=1
     )
 
     rows = [
-        [f"threshold={t}", r.lrcs_per_round, 100 * r.speculation.false_positive_rate,
+        [ablation_label(job), r.lrcs_per_round, 100 * r.speculation.false_positive_rate,
          100 * r.speculation.false_negative_rate, r.logical_error_rate]
-        for t, r in thresholds.items()
-    ]
-    rows += [
-        [f"backups={b}", r.lrcs_per_round, 100 * r.speculation.false_positive_rate,
-         100 * r.speculation.false_negative_rate, r.logical_error_rate]
-        for b, r in backups.items()
-    ]
-    rows += [
-        [f"matcher={m}", r.lrcs_per_round, 100 * r.speculation.false_positive_rate,
-         100 * r.speculation.false_negative_rate, r.logical_error_rate]
-        for m, r in matchers.items()
+        for job, r in zip(plan.jobs, results)
     ]
     emit(
         f"Ablations (d={distance}): speculation threshold, SWAP-table backups, matcher",

@@ -1,10 +1,23 @@
-"""Setuptools shim.
+"""Setuptools configuration.
 
-The project is configured through ``pyproject.toml``; this file exists so the
-package can be installed in environments whose tooling predates PEP 660
-editable installs (``pip install -e . --no-use-pep517``).
+Kept as an executable ``setup.py`` so the package installs in environments
+whose tooling predates PEP 660 editable installs (``pip install -e .
+--no-use-pep517``).  The core library needs only numpy/scipy/networkx; the
+``[report]`` extra adds matplotlib for PNG figure rendering in
+``eraser-repro report`` (the report degrades gracefully to tables/CSV
+without it).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="eraser-repro",
+    version="0.3.0",
+    description="Reproduction of ERASER: Adaptive Leakage Suppression for FTQC (MICRO 2023)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+    extras_require={"report": ["matplotlib"]},
+    entry_points={"console_scripts": ["eraser-repro=repro.cli:main"]},
+)

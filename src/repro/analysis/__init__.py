@@ -1,4 +1,9 @@
-"""Analytic models and tabulation helpers."""
+"""Analytic models (Sections 3.1 and 4.1) and tabulation helpers.
+
+The closed forms behind Equations (1)-(3) and Table 2 live in
+:mod:`repro.analysis.analytic`; :mod:`repro.analysis.tables` renders the
+number series behind every figure as aligned plain-text tables.
+"""
 
 from repro.analysis.analytic import (
     expected_lrcs_per_round_always,

@@ -15,6 +15,11 @@ Examples::
     eraser-repro dm-study
     eraser-repro experiments
     eraser-repro experiments run fig14 --jobs 4 --cache-dir sweep-cache/
+    eraser-repro report --quick --jobs 4 --cache-dir sweep-cache/
+
+``report`` renders every figure and table of the paper into ``report/``
+(``index.md`` + CSV, and PNG when the optional ``[report]`` extra installs
+matplotlib), with a paper-vs-reproduced comparison table.
 
 Every Monte-Carlo sweep accepts ``--jobs N`` (parallel workers; statistics
 are identical to the serial run), ``--cache-dir DIR`` (content-addressed
@@ -284,6 +289,34 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import QUICK_MAX_DISTANCE, QUICK_SHOTS, ReportBuilder
+
+    shots = args.shots if args.shots is not None else (QUICK_SHOTS if args.quick else 200)
+    max_distance = args.max_distance if args.max_distance is not None else (
+        QUICK_MAX_DISTANCE if args.quick else 5
+    )
+    try:
+        builder = ReportBuilder(
+            ids=args.ids,
+            output_dir=args.output_dir,
+            shots=shots,
+            max_distance=max_distance,
+            seed=args.seed,
+            chunk_shots=args.chunk_shots,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+            figures=not args.no_figures,
+        )
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    result = builder.build()
+    print(result.summary())
+    return 0
+
+
 def _cmd_dqlr(args: argparse.Namespace) -> int:
     sweep = run_dqlr_comparison(
         distances=args.distances,
@@ -362,6 +395,53 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--seed", type=int, default=None)
     _add_orchestration_args(experiments)
     experiments.set_defaults(func=_cmd_experiments)
+
+    report = subparsers.add_parser(
+        "report",
+        help="Render the full reproduction report (every figure/table) to report/",
+    )
+    report.add_argument(
+        "--ids",
+        nargs="+",
+        default=None,
+        help="Subset of experiment ids to render (default: the whole registry).",
+    )
+    report.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        help="Monte-Carlo shots per configuration (default 200; 40 with --quick).",
+    )
+    report.add_argument(
+        "--max-distance",
+        type=int,
+        default=None,
+        help="Largest code distance in the sweeps (default 5; 3 with --quick).",
+    )
+    report.add_argument(
+        "--seed",
+        type=int,
+        default=1234,
+        help="Root seed; fixed by default so rerenders hit the result cache.",
+    )
+    report.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized report: fewer shots, d=3 only (same artifact structure).",
+    )
+    report.add_argument(
+        "--output-dir",
+        type=str,
+        default="report",
+        help="Directory the report tree (index.md, CSV, PNG) is written to.",
+    )
+    report.add_argument(
+        "--no-figures",
+        action="store_true",
+        help="Skip PNG rendering even when matplotlib is installed.",
+    )
+    _add_orchestration_args(report)
+    report.set_defaults(func=_cmd_report)
 
     return parser
 

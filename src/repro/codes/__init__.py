@@ -1,4 +1,4 @@
-"""Quantum error correction code substrates.
+"""Quantum error correction code substrates (Section 2.1 background).
 
 This subpackage provides the rotated surface code lattice used throughout the
 ERASER reproduction: qubit layout, stabilizer definitions, the four-layer

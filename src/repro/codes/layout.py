@@ -1,4 +1,4 @@
-"""Basic layout primitives for surface code lattices.
+"""Basic layout primitives for surface code lattices (Section 2.1).
 
 The rotated surface code is laid out on a two-dimensional grid.  Data qubits
 sit on integer coordinates ``(row, col)`` with ``0 <= row, col < d``.  Parity

@@ -1,4 +1,4 @@
-"""Rotated surface code construction.
+"""Rotated surface code construction (Section 2.1, Figure 3).
 
 The rotated surface code of odd distance ``d`` encodes one logical qubit in
 ``d*d`` data qubits and ``d*d - 1`` parity qubits.  This module builds the

@@ -1,4 +1,8 @@
-"""Abstract interface shared by all LRC scheduling policies."""
+"""Abstract interface shared by all LRC scheduling policies (Section 4).
+
+Every policy the paper evaluates — Always-LRCs, ERASER, ERASER+M, Optimal,
+and the no-LRC baseline — implements this per-round decision interface.
+"""
 
 from __future__ import annotations
 

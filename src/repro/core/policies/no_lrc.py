@@ -1,4 +1,8 @@
-"""Baseline policy that never schedules leakage removal."""
+"""Baseline policy that never schedules leakage removal (Figure 2 baseline).
+
+The paper's motivation data (Section 2.3) measures how leakage accumulates
+when no LRCs are inserted; this policy reproduces that configuration.
+"""
 
 from __future__ import annotations
 

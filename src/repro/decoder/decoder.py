@@ -1,4 +1,9 @@
-"""High-level decoder facade used by the memory-experiment harness."""
+"""High-level decoder facade used by the memory-experiment harness.
+
+Computes the logical error rate of Equation (4): detector events from each
+shot are matched on the space-time decoding graph (Section 2.2 background)
+and the correction's parity is compared against the true observable flip.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,7 @@
-"""Deterministic single-fault injection.
+"""Deterministic single-fault injection (decoding-graph validation).
+
+Supports the Section 2.2 decoding machinery: it verifies the graph every
+Monte-Carlo figure depends on, independent of random sampling.
 
 Used to validate the decoding graph: every single circuit-level fault should
 flip at most two detectors, those detectors should be connected by a short

@@ -1,4 +1,4 @@
-"""A small multi-qudit density-matrix simulator.
+"""A small multi-qudit density-matrix simulator (Section 3.3 methodology).
 
 The state of ``n`` ququarts is stored as a ``4**n x 4**n`` complex density
 matrix.  Unitaries and Kraus channels on one or two qudits are applied by

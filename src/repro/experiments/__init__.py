@@ -1,4 +1,10 @@
-"""Memory-experiment harness, metrics, sweeps, and sweep orchestration."""
+"""Memory-experiment harness, metrics, sweeps, and orchestration (Section 6).
+
+Implements the paper's evaluation methodology: memory-Z experiments over the
+rotated surface code, the LER/LPR/speculation metrics of Equations (4)-(5),
+and the job/executor/store layers that run every figure's sweep cached and
+in parallel.
+"""
 
 from repro.experiments.metrics import SpeculationCounts, binomial_stderr, wilson_interval
 from repro.experiments.results import MemoryExperimentResult, PolicySweepResult

@@ -67,6 +67,25 @@ class SweepStats:
     chunks_run: int = 0
     elapsed_seconds: float = 0.0
 
+    def merge(self, other: "SweepStats") -> "SweepStats":
+        """Accumulate another run's statistics into this one (returns self)."""
+        self.jobs_total += other.jobs_total
+        self.cache_hits += other.cache_hits
+        self.jobs_run += other.jobs_run
+        self.chunks_run += other.chunks_run
+        self.elapsed_seconds += other.elapsed_seconds
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (used by the report's ``run_stats.json``)."""
+        return {
+            "jobs_total": self.jobs_total,
+            "cache_hits": self.cache_hits,
+            "jobs_run": self.jobs_run,
+            "chunks_run": self.chunks_run,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
     def summary(self) -> str:
         return (
             f"{self.jobs_total} job(s): {self.cache_hits} cached, "

@@ -96,6 +96,35 @@ def _plan_fig20(shots, max_distance, seed, chunk_shots) -> SweepPlan:
     )
 
 
+def _plan_ablations(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    from repro.experiments.sweep import ablation_plan
+
+    return ablation_plan(
+        min(_distances(max_distance)[-1], 5), shots, seed=seed, chunk_shots=chunk_shots,
+    )
+
+
+def _render(style: str):
+    """Render hook bound to a named renderer style.
+
+    Resolved lazily so the registry never imports the (matplotlib-optional)
+    report package unless a report is actually rendered — mirroring how plan
+    builders lazily import the sweep helpers.
+    """
+
+    def hook(spec: "ExperimentSpec", context) -> object:
+        from repro.report.renderers import get_renderer
+
+        return get_renderer(style)(spec, context)
+
+    return hook
+
+
+#: Valid :attr:`ExperimentSpec.kind` values.  ``sweep`` entries are
+#: Monte-Carlo; the others are closed-form or deterministic simulations.
+EXPERIMENT_KINDS = ("sweep", "analytic", "density-matrix", "hardware")
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One table or figure of the paper and how this repository reproduces it.
@@ -106,9 +135,14 @@ class ExperimentSpec:
         workload: Workload and key parameters used by the paper.
         modules: Library modules implementing the pieces.
         benchmark: Benchmark file that regenerates the data.
+        kind: One of :data:`EXPERIMENT_KINDS` — distinguishes Monte-Carlo
+            sweeps from analytic / density-matrix / hardware entries so the
+            CLI index and the report label entries consistently.
         plan: Optional builder ``(shots, max_distance, seed, chunk_shots) ->
-            SweepPlan`` for Monte-Carlo experiments; ``None`` for analytic /
-            density-matrix / hardware entries, which run via their benchmark.
+            SweepPlan`` for Monte-Carlo experiments; ``None`` for entries
+            that are not plan-backed, which run via their benchmark.
+        render: Report hook ``(spec, RenderContext) -> ExperimentArtifact``
+            producing this entry's figures/tables for ``eraser-repro report``.
     """
 
     experiment_id: str
@@ -116,11 +150,17 @@ class ExperimentSpec:
     workload: str
     modules: Tuple[str, ...]
     benchmark: str
+    kind: str = "sweep"
     plan: Optional[Callable[..., SweepPlan]] = field(default=None, compare=False)
+    render: Optional[Callable] = field(default=None, compare=False)
 
     @property
     def has_plan(self) -> bool:
         return self.plan is not None
+
+    @property
+    def has_render(self) -> bool:
+        return self.render is not None
 
     def make_plan(
         self,
@@ -137,6 +177,15 @@ class ExperimentSpec:
             )
         return self.plan(shots, max_distance, seed, chunk_shots)
 
+    def render_artifact(self, context):
+        """Produce this entry's report artifact (raises for hook-less entries)."""
+        if self.render is None:
+            raise ValueError(
+                f"experiment {self.experiment_id!r} has no report renderer; "
+                f"run its benchmark instead: {self.benchmark}"
+            )
+        return self.render(self, context)
+
 
 _SPECS = (
     ExperimentSpec(
@@ -146,6 +195,7 @@ _SPECS = (
         ("repro.experiments.sweep", "repro.core.policies"),
         "benchmarks/bench_fig02_leakage_impact.py",
         plan=_plan_fig2c,
+        render=_render("ler_vs_cycles"),
     ),
     ExperimentSpec(
         "eq1-2",
@@ -153,6 +203,8 @@ _SPECS = (
         "single stabilizer, p_leak=1e-4, p_transport=0.1",
         ("repro.analysis.analytic", "repro.sim.frame_simulator"),
         "benchmarks/bench_eq12_transport.py",
+        kind="analytic",
+        render=_render("transport_analytic"),
     ),
     ExperimentSpec(
         "table2",
@@ -160,6 +212,8 @@ _SPECS = (
         "analytic, four-neighbour data qubit",
         ("repro.analysis.analytic",),
         "benchmarks/bench_table2_invisible.py",
+        kind="analytic",
+        render=_render("invisible_table"),
     ),
     ExperimentSpec(
         "fig5",
@@ -168,6 +222,7 @@ _SPECS = (
         ("repro.experiments.memory", "repro.core.policies.always_lrc"),
         "benchmarks/bench_fig05_lpr_always.py",
         plan=_plan_fig5,
+        render=_render("lpr_time_series"),
     ),
     ExperimentSpec(
         "fig6",
@@ -176,6 +231,7 @@ _SPECS = (
         ("repro.experiments.sweep", "repro.core.policies.optimal"),
         "benchmarks/bench_fig06_always_vs_optimal.py",
         plan=_plan_fig6,
+        render=_render("ler_vs_cycles"),
     ),
     ExperimentSpec(
         "fig8",
@@ -183,6 +239,8 @@ _SPECS = (
         "five ququarts, RX(0.65*pi) faulty CNOTs, transport 0.1",
         ("repro.densitymatrix.study", "repro.densitymatrix.dm"),
         "benchmarks/bench_fig08_density_matrix.py",
+        kind="density-matrix",
+        render=_render("density_study"),
     ),
     ExperimentSpec(
         "fig14",
@@ -191,6 +249,7 @@ _SPECS = (
         ("repro.experiments.sweep", "repro.core.policies", "repro.decoder"),
         "benchmarks/bench_fig14_ler_vs_distance.py",
         plan=_compare_plan(1e-3),
+        render=_render("ler_vs_distance"),
     ),
     ExperimentSpec(
         "fig14b",
@@ -199,6 +258,7 @@ _SPECS = (
         ("repro.experiments.sweep",),
         "benchmarks/bench_fig14b_low_error_rate.py",
         plan=_compare_plan(1e-4),
+        render=_render("ler_vs_distance"),
     ),
     ExperimentSpec(
         "fig15",
@@ -207,6 +267,7 @@ _SPECS = (
         ("repro.experiments.sweep",),
         "benchmarks/bench_fig15_lpr_policies.py",
         plan=_plan_fig15,
+        render=_render("lpr_time_series"),
     ),
     ExperimentSpec(
         "fig16",
@@ -215,6 +276,7 @@ _SPECS = (
         ("repro.experiments.metrics", "repro.core.lsb"),
         "benchmarks/bench_fig16_speculation.py",
         plan=_compare_plan(1e-3, decode=False),
+        render=_render("speculation"),
     ),
     ExperimentSpec(
         "table3",
@@ -222,6 +284,8 @@ _SPECS = (
         "Kintex UltraScale+ xcku3p, d=3..11",
         ("repro.hardware.cost_model", "repro.hardware.rtl_gen"),
         "benchmarks/bench_table3_fpga.py",
+        kind="hardware",
+        render=_render("fpga_table"),
     ),
     ExperimentSpec(
         "table4",
@@ -230,6 +294,7 @@ _SPECS = (
         ("repro.experiments.sweep",),
         "benchmarks/bench_table4_lrc_counts.py",
         plan=_compare_plan(1e-3),
+        render=_render("lrc_counts"),
     ),
     ExperimentSpec(
         "fig17",
@@ -238,6 +303,7 @@ _SPECS = (
         ("repro.noise.leakage", "repro.experiments.sweep"),
         "benchmarks/bench_fig17_alt_transport.py",
         plan=_compare_plan(1e-3, transport=LeakageTransportModel.EXCHANGE),
+        render=_render("ler_vs_distance"),
     ),
     ExperimentSpec(
         "fig20",
@@ -246,6 +312,7 @@ _SPECS = (
         ("repro.dqlr.protocol", "repro.core.qsg"),
         "benchmarks/bench_fig20_dqlr.py",
         plan=_plan_fig20,
+        render=_render("ler_vs_distance"),
     ),
     ExperimentSpec(
         "ablations",
@@ -253,6 +320,8 @@ _SPECS = (
         "memory-Z, d=5, p=1e-3, 10 cycles",
         ("repro.core.lsb", "repro.core.dli", "repro.decoder.matching"),
         "benchmarks/bench_ablation_design_choices.py",
+        plan=_plan_ablations,
+        render=_render("ablations"),
     ),
 )
 
@@ -269,12 +338,22 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
     return EXPERIMENTS[key]
 
 
+def spec_marker(spec: ExperimentSpec) -> str:
+    """How an entry runs: plan-backed sweeps vs analytic/hardware benchmarks.
+
+    The same marker text appears in ``eraser-repro experiments list`` and in
+    the report index, so the two stay consistent.
+    """
+    if spec.has_plan:
+        return f"[{spec.kind}: experiments run]"
+    return f"[{spec.kind}: benchmark only]"
+
+
 def format_experiment_index() -> str:
     """Plain-text index of every experiment (used by the CLI)."""
     lines = []
     for spec in _SPECS:
-        runnable = "  [experiments run]" if spec.has_plan else ""
-        lines.append(f"{spec.experiment_id:<10s} {spec.title}{runnable}")
+        lines.append(f"{spec.experiment_id:<10s} {spec.title}  {spec_marker(spec)}")
         lines.append(f"{'':<10s}   workload : {spec.workload}")
         lines.append(f"{'':<10s}   modules  : {', '.join(spec.modules)}")
         lines.append(f"{'':<10s}   benchmark: {spec.benchmark}")

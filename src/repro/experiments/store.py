@@ -1,5 +1,9 @@
 """Content-addressed on-disk store for memory-experiment results.
 
+Infrastructure for the Section 6 Monte-Carlo evaluation: every figure's sweep
+persists its finished jobs here, which is what makes reproduction runs
+resumable and report rebuilds simulation-free.
+
 Every :class:`~repro.experiments.jobs.SweepJob` is fully described by a plain
 configuration dictionary — including its seed material (plan entropy plus the
 job's spawn key) — so the result of running it is addressed by the SHA-256
@@ -153,3 +157,37 @@ class ResultStore:
                 path.unlink()
             except FileNotFoundError:
                 pass
+
+
+class InMemoryResultStore:
+    """Process-local result store with the same save/load protocol.
+
+    Used when no cache directory is configured (e.g. a plain
+    ``eraser-repro report`` run) so that identical jobs appearing in several
+    sweeps of one process — Figure 14's grid reappearing as Table 4, Figure
+    5's trace inside Figures 15/16 — are still simulated only once.  Nothing
+    touches disk and nothing survives the process.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, MemoryExperimentResult] = {}
+
+    def save(
+        self,
+        key: str,
+        result: MemoryExperimentResult,
+        config: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._entries[key] = result
+
+    def load(self, key: str) -> Optional[MemoryExperimentResult]:
+        return self._entries.get(key)
+
+    def contains(self, key: str) -> bool:
+        return key in self._entries
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)

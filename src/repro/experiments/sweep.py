@@ -330,6 +330,43 @@ def lpr_time_series(
     return {result.policy: result.lpr_total for result in results}
 
 
+#: Design-choice ablation axes (Section 5): LSB speculation threshold,
+#: SWAP-table backup count, and decoding-graph matching engine.  Shared by
+#: the registry plan, the report renderer and the ablation benchmark so the
+#: three can never drift.
+ABLATION_THRESHOLDS = (1, 2, 4)
+ABLATION_BACKUPS = (0, 1, 3)
+ABLATION_MATCHERS = ("mwpm", "greedy")
+
+
+def ablation_plan(
+    distance: int,
+    shots: int,
+    p: float = 1e-3,
+    cycles: int = 10,
+    seed: RngLike = None,
+    chunk_shots: Optional[int] = None,
+) -> SweepPlan:
+    """The Section 5 design-choice grid: one ERASER config per axis point."""
+    base = dict(distance=distance, policy="eraser", shots=shots, p=p, cycles=cycles)
+    configs = (
+        [dict(base, policy_kwargs={"speculation_threshold_override": t}) for t in ABLATION_THRESHOLDS]
+        + [dict(base, policy_kwargs={"num_backups": b}) for b in ABLATION_BACKUPS]
+        + [dict(base, decoder_method=m) for m in ABLATION_MATCHERS]
+    )
+    return SweepPlan.build(configs, seed=seed, chunk_shots=chunk_shots)
+
+
+def ablation_label(job: SweepJob) -> str:
+    """Which ablation axis point a job of :func:`ablation_plan` represents."""
+    kwargs = dict(job.policy_kwargs)
+    if "speculation_threshold_override" in kwargs:
+        return f"threshold={kwargs['speculation_threshold_override']}"
+    if "num_backups" in kwargs:
+        return f"backups={kwargs['num_backups']}"
+    return f"matcher={job.decoder_method}"
+
+
 def ler_vs_cycles_plan(
     distance: int,
     policies: Sequence[str],

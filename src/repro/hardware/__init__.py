@@ -1,4 +1,7 @@
-"""Hardware-cost modelling and RTL generation for the ERASER controller."""
+"""Hardware-cost modelling and RTL generation for the ERASER controller
+(Section 5.4, Table 3): the structural FPGA cost model and the
+SystemVerilog generator for the Figure 10 microarchitecture.
+"""
 
 from repro.hardware.cost_model import FpgaCostModel, FpgaResources, KINTEX_ULTRASCALE_PLUS
 from repro.hardware.rtl_gen import generate_eraser_rtl

@@ -1,4 +1,7 @@
-"""Noise and leakage models used by the ERASER reproduction."""
+"""Noise and leakage models used by the ERASER reproduction (Table 1,
+Section 3): circuit-level depolarising noise plus the leakage injection,
+transport and seepage channels.
+"""
 
 from repro.noise.model import NoiseParams
 from repro.noise.leakage import LeakageModel, LeakageTransportModel

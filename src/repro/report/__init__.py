@@ -1,0 +1,39 @@
+"""Reproduction-report pipeline: render every paper figure/table (Section 6).
+
+This package turns the experiment registry into a publishable artifact the
+way artifact-evaluation repositories do: ``eraser-repro report`` renders every
+figure and table of the paper — Figures 2/5/6/8/14-17/20 and Tables 2-4 —
+into ``report/index.md`` plus per-experiment CSV (and, with the optional
+``[report]`` extra, PNG) files, including a paper-value-versus-reproduced-
+value comparison table.
+
+All Monte-Carlo data flows through the cached
+:class:`~repro.experiments.executor.SweepExecutor`, so a report built on top
+of a warm cache performs zero simulation and reproduces its output byte for
+byte.
+"""
+
+from repro.report.artifacts import (
+    DEFAULT_REPORT_SEED,
+    ComparisonRow,
+    ExperimentArtifact,
+    FigureResult,
+    RenderContext,
+    TableResult,
+)
+from repro.report.builder import QUICK_MAX_DISTANCE, QUICK_SHOTS, ReportBuilder, ReportResult
+from repro.report.figures import matplotlib_available
+
+__all__ = [
+    "DEFAULT_REPORT_SEED",
+    "QUICK_MAX_DISTANCE",
+    "QUICK_SHOTS",
+    "ComparisonRow",
+    "ExperimentArtifact",
+    "FigureResult",
+    "RenderContext",
+    "ReportBuilder",
+    "ReportResult",
+    "TableResult",
+    "matplotlib_available",
+]

@@ -1,0 +1,84 @@
+"""Markdown assembly of the report index (``report/index.md``).
+
+The index is the single human-readable artifact of the reproduction: run
+configuration, the paper-vs-reproduced comparison table, then one section per
+registry entry with its tables, figure images and data links.  Everything
+written here is deterministic for a fixed seed — execution statistics that
+vary between runs (cache hits, wall time) go to ``run_stats.json`` instead,
+so a fully cached rerun reproduces the index byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.report.artifacts import ExperimentArtifact, markdown_escape
+
+_TITLE = "ERASER reproduction report"
+_PAPER = (
+    "*ERASER: Towards Adaptive Leakage Suppression for Fault-Tolerant Quantum "
+    "Computing* (Vittal, Das, Qureshi — MICRO 2023)"
+)
+
+
+def _comparison_section(artifacts: Sequence[ExperimentArtifact]) -> List[str]:
+    rows = [row for artifact in artifacts for row in artifact.comparisons]
+    if not rows:
+        return []
+    lines = [
+        "## Paper vs reproduced",
+        "",
+        "| experiment | quantity | paper | reproduced | note |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for row in rows:
+        cells = [row.experiment_id, row.quantity, row.paper_value, row.reproduced_value, row.note]
+        lines.append("| " + " | ".join(markdown_escape(cell) for cell in cells) + " |")
+    lines.append("")
+    return lines
+
+
+def build_index_markdown(
+    artifacts: Sequence[ExperimentArtifact],
+    config_rows: Sequence[Tuple[str, object]],
+    workloads: Dict[str, str],
+    notes: Sequence[str] = (),
+) -> str:
+    """Assemble the full ``index.md`` text.
+
+    Args:
+        artifacts: One entry per rendered experiment, in registry order.
+        config_rows: ``(parameter, value)`` pairs for the run-configuration
+            table (must all be run-deterministic).
+        workloads: Experiment id -> workload description line.
+        notes: Report-level remarks (e.g. that figures were skipped).
+    """
+    lines: List[str] = [f"# {_TITLE}", "", f"Reproduces {_PAPER}.", ""]
+    for note in notes:
+        lines += [f"> {note}", ""]
+
+    lines += ["## Run configuration", "", "| parameter | value |", "| --- | --- |"]
+    for key, value in config_rows:
+        lines.append(f"| {key} | {value} |")
+    lines.append("")
+
+    lines += _comparison_section(artifacts)
+
+    lines += ["## Experiments", ""]
+    for artifact in artifacts:
+        lines.append(f"### {artifact.experiment_id} — {artifact.title}")
+        lines.append("")
+        lines.append(f"*Kind: {artifact.kind}.  Workload: {workloads.get(artifact.experiment_id, 'n/a')}*")
+        lines.append("")
+        for note in artifact.notes:
+            lines += [note, ""]
+        for figure in artifact.figures:
+            if figure.filename:
+                lines += [f"![{figure.experiment_id}]({figure.filename})", ""]
+            if figure.caption:
+                lines += [f"*{figure.caption}*", ""]
+        for table in artifact.tables:
+            lines += [f"**{table.title}**", "", table.to_markdown(), ""]
+            if table.csv_name:
+                lines += [f"Data: [{table.csv_name}]({table.csv_name})", ""]
+    return "\n".join(lines).rstrip() + "\n"

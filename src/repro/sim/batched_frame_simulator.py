@@ -1,5 +1,7 @@
 """Batched (multi-shot) Pauli-frame simulator with leakage tracking.
 
+The production engine behind the Section 6 Monte-Carlo evaluation.
+
 The scalar :class:`~repro.sim.frame_simulator.LeakageFrameSimulator` executes
 one Monte-Carlo shot at a time, which leaves the Python interpreter — not
 numpy — as the bottleneck of every sweep.  This module provides the batched

@@ -1,4 +1,4 @@
-"""Lightweight circuit intermediate representation.
+"""Lightweight circuit intermediate representation (Section 6 methodology).
 
 Rounds of syndrome extraction are expressed as short lists of vectorised
 operations.  Each operation acts on arrays of qubit indices so the simulator

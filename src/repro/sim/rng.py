@@ -1,4 +1,4 @@
-"""Random number generation helpers.
+"""Random number generation helpers (Section 6 Monte-Carlo methodology).
 
 All stochastic components of the reproduction accept either an integer seed or
 an existing :class:`numpy.random.Generator`; :func:`make_rng` normalises both

@@ -41,6 +41,27 @@ class TestParser:
         assert args.distance == 5
         assert args.multilevel is True
 
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.ids is None
+        assert args.shots is None  # resolved from --quick at run time
+        assert args.seed == 1234  # fixed by default so reruns hit the cache
+        assert args.quick is False
+        assert args.output_dir == "report"
+        assert args.jobs == 1
+
+    def test_report_flags_parse(self):
+        args = build_parser().parse_args(
+            ["report", "--ids", "fig14", "table2", "--quick", "--jobs", "2",
+             "--cache-dir", "c/", "--resume", "--no-figures"]
+        )
+        assert args.ids == ["fig14", "table2"]
+        assert args.quick is True
+        assert args.jobs == 2
+        assert args.cache_dir == "c/"
+        assert args.resume is True
+        assert args.no_figures is True
+
 
 class TestCommands:
     def test_table2(self, capsys):
@@ -163,6 +184,45 @@ class TestCommands:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert first == second
+
+    def test_report_subset_renders_and_caches(self, capsys, tmp_path):
+        argv = [
+            "report", "--ids", "fig14", "table2",
+            "--shots", "2", "--max-distance", "3",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--output-dir", str(tmp_path / "report"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "report: 2 experiment(s)" in out
+        assert (tmp_path / "report" / "index.md").exists()
+        assert (tmp_path / "report" / "table2.csv").exists()
+        # Rerun: all Monte-Carlo jobs must be served from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed (0 chunk(s))" in out
+
+    def test_report_unknown_id(self, capsys):
+        assert main(["report", "--ids", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_report_kind_labels_match_experiments_list(self, capsys, tmp_path):
+        """The report index and `experiments list` label entries consistently."""
+        from repro.experiments.registry import EXPERIMENTS, spec_marker
+
+        assert main(["experiments"]) == 0
+        listing = capsys.readouterr().out
+        for spec in EXPERIMENTS.values():
+            assert spec_marker(spec) in listing
+        argv = [
+            "report", "--ids", "table2", "table3", "--shots", "2",
+            "--max-distance", "3", "--output-dir", str(tmp_path / "report"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        text = (tmp_path / "report" / "index.md").read_text()
+        assert "*Kind: analytic." in text
+        assert "*Kind: hardware." in text
 
     def test_lpr_command_small(self, capsys):
         code = main(

@@ -5,10 +5,12 @@ import pathlib
 import pytest
 
 from repro.experiments.registry import (
+    EXPERIMENT_KINDS,
     EXPERIMENTS,
     ExperimentSpec,
     format_experiment_index,
     get_experiment,
+    spec_marker,
 )
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -42,11 +44,24 @@ class TestRegistryContents:
         for key, spec in EXPERIMENTS.items():
             assert key == spec.experiment_id
 
+    def test_every_entry_has_a_valid_kind(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.kind in EXPERIMENT_KINDS, spec.experiment_id
+
+    def test_monte_carlo_entries_are_sweeps(self):
+        for spec in EXPERIMENTS.values():
+            if spec.has_plan:
+                assert spec.kind == "sweep", spec.experiment_id
+
+    def test_every_entry_has_a_render_hook(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.has_render, spec.experiment_id
+
 
 class TestSweepPlans:
     MONTE_CARLO = {
         "fig2c", "fig5", "fig6", "fig14", "fig14b", "fig15", "fig16",
-        "table4", "fig17", "fig20",
+        "table4", "fig17", "fig20", "ablations",
     }
 
     def test_monte_carlo_experiments_have_plans(self):
@@ -78,13 +93,42 @@ class TestSweepPlans:
         spawn_keys = [job.spawn_key for job in plan.jobs]
         assert len(set(spawn_keys)) == len(spawn_keys)
 
+    def test_ablations_plan_covers_all_axes(self):
+        from repro.experiments.sweep import (
+            ABLATION_BACKUPS,
+            ABLATION_MATCHERS,
+            ABLATION_THRESHOLDS,
+            ablation_label,
+        )
+
+        plan = EXPERIMENTS["ablations"].make_plan(shots=4, max_distance=5, seed=1)
+        expected = len(ABLATION_THRESHOLDS) + len(ABLATION_BACKUPS) + len(ABLATION_MATCHERS)
+        assert len(plan.jobs) == expected
+        assert {job.policy for job in plan.jobs} == {"eraser"}
+        labels = [ablation_label(job) for job in plan.jobs]
+        assert "threshold=1" in labels and "backups=0" in labels and "matcher=greedy" in labels
+        assert len(set(labels)) == expected
+
     def test_fig17_plan_uses_exchange_transport(self):
         plan = EXPERIMENTS["fig17"].make_plan(shots=4, max_distance=3, seed=1)
         assert {job.transport_model for job in plan.jobs} == {"exchange"}
 
     def test_index_marks_runnable_experiments(self):
         text = format_experiment_index()
-        assert "[experiments run]" in text
+        assert "[sweep: experiments run]" in text
+
+    def test_index_marks_benchmark_only_entries(self):
+        """Plan-less entries are labelled by kind instead of looking runnable."""
+        text = format_experiment_index()
+        assert "[analytic: benchmark only]" in text
+        assert "[hardware: benchmark only]" in text
+        assert "[density-matrix: benchmark only]" in text
+
+    def test_marker_agrees_with_has_plan(self):
+        for spec in EXPERIMENTS.values():
+            marker = spec_marker(spec)
+            assert spec.kind in marker
+            assert ("experiments run" in marker) == spec.has_plan
 
     def test_plans_clamp_max_distance_to_valid_code_distances(self):
         """--max-distance 4 (even) must clamp, not crash at execution time."""
