@@ -80,6 +80,22 @@ def _add_common_sweep_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="Shots simulated together per batch (batched engine only).",
     )
+    parser.add_argument(
+        "--decoder-dp-threshold",
+        type=int,
+        default=None,
+        help="Largest syndrome the decoder's exact bitmask DP handles before "
+        "the blossom engine takes over (0 = always blossom).  Tuning knob "
+        "only: corrections are bit-identical for any value.",
+    )
+    parser.add_argument(
+        "--decoder-cache-size",
+        type=int,
+        default=None,
+        help="Bound on the decoder's syndrome->correction LRU cache "
+        "(0 disables caching).  Tuning knob only: corrections are "
+        "bit-identical for any value.",
+    )
     _add_orchestration_args(parser)
 
 
@@ -138,6 +154,8 @@ def _cmd_ler(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        decoder_dp_threshold=args.decoder_dp_threshold,
+        decoder_cache_size=args.decoder_cache_size,
         **_sweep_options(args),
     )
     print(sweep.format_table())
@@ -326,6 +344,8 @@ def _cmd_dqlr(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        decoder_dp_threshold=args.decoder_dp_threshold,
+        decoder_cache_size=args.decoder_cache_size,
         **_sweep_options(args),
     )
     print(sweep.format_table())

@@ -2,22 +2,33 @@
 
 The paper decodes memory experiments with MWPM (Section 5.3).  This package
 provides a from-scratch implementation: a space-time decoding graph built from
-the code structure, exact shortest paths via scipy's Dijkstra, and either an
-exact blossom matching (networkx) or a fast greedy matcher.
+the code structure, exact shortest paths via scipy's Dijkstra with cached
+frame-parity tables, and a layered matching fast path — syndrome dedup + LRU,
+an exact bitmask DP for small syndromes, a native array-indexed blossom port
+(bit-identical to networkx), a vectorised greedy matcher, and a Union-Find
+decoder.  The seed implementation is preserved in
+:mod:`repro.decoder.reference` for equivalence testing and benchmarking.
 """
 
 from repro.decoder.graph import DecodingGraph
-from repro.decoder.matching import GreedyMatcher, MwpmMatcher, build_matcher
+from repro.decoder.matching import (
+    AutoMatcher,
+    GreedyMatcher,
+    MwpmMatcher,
+    build_matcher,
+)
 from repro.decoder.union_find import UnionFindMatcher
-from repro.decoder.decoder import SurfaceCodeDecoder
+from repro.decoder.decoder import DecoderStats, SurfaceCodeDecoder
 from repro.decoder.fault_injection import FaultInjector, FaultSignature
 
 __all__ = [
     "DecodingGraph",
+    "AutoMatcher",
     "MwpmMatcher",
     "GreedyMatcher",
     "UnionFindMatcher",
     "build_matcher",
+    "DecoderStats",
     "SurfaceCodeDecoder",
     "FaultInjector",
     "FaultSignature",

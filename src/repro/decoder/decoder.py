@@ -3,12 +3,31 @@
 Computes the logical error rate of Equation (4): detector events from each
 shot are matched on the space-time decoding graph (Section 2.2 background)
 and the correction's parity is compared against the true observable flip.
+
+Decoding is batch-aware and layered (fastest layer first):
+
+1. *weight-0 short-circuit* — shots without detection events take the
+   identity correction without touching the matcher;
+2. *in-batch dedup* — shots are grouped by their packed detector bits and
+   every distinct syndrome is matched once, then broadcast;
+3. *cross-batch LRU* — a bounded syndrome -> correction cache carries
+   repeated syndromes across batches (and across `decode_shot` calls), so
+   duplicates within a sweep job are free;
+4. *matching engine* — only distinct, uncached syndromes reach the engine
+   (bitmask DP / native blossom / greedy / union-find; see
+   :mod:`repro.decoder.matching`).
+
+Every layer is exact: corrections are bit-identical to matching each shot
+individually with the seed implementation
+(:mod:`repro.decoder.reference`), which `tests/test_decoder_fastpath.py`
+enforces property-style.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -16,6 +35,31 @@ from repro.codes.layout import StabilizerType
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.decoder.graph import DecodingGraph
 from repro.decoder.matching import build_matcher
+
+#: Default bound on the per-decoder syndrome->correction LRU cache.  Keys are
+#: packed detector bitmaps (~num_nodes/8 bytes each: 77 bytes at d=5, 50
+#: rounds), so a full cache stays well under 10 MB even at large distances.
+DEFAULT_CACHE_SIZE = 8192
+
+
+@dataclass
+class DecoderStats:
+    """Dispatch counters for the layered decode fast path (see module doc)."""
+
+    shots: int = 0
+    empty: int = 0
+    dedup_hits: int = 0
+    cache_hits: int = 0
+    matched: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "shots": self.shots,
+            "empty": self.empty,
+            "dedup_hits": self.dedup_hits,
+            "cache_hits": self.cache_hits,
+            "matched": self.matched,
+        }
 
 
 @dataclass
@@ -27,9 +71,18 @@ class SurfaceCodeDecoder:
         num_rounds: Number of syndrome-extraction rounds per experiment.
         stabilizer_type: Detector family to match; ``Z`` (default) decodes the
             X errors that corrupt a memory-Z experiment.
-        method: Matching engine — ``"mwpm"``, ``"greedy"`` or ``"auto"``.
+        method: Matching engine — ``"mwpm"``, ``"greedy"``, ``"auto"`` or
+            ``"union-find"``.
         space_weight / time_weight / diagonal_weight: Decoding-graph edge
             weights (see :class:`~repro.decoder.graph.DecodingGraph`).
+        exact_threshold: Syndrome size above which ``"auto"`` switches from
+            exact matching to greedy.
+        dp_threshold: Largest syndrome handled by the exact bitmask DP
+            before the blossom algorithm takes over (``None`` = library
+            default, ``0`` = always blossom).  Performance-only: corrections
+            are identical either way.
+        cache_size: Bound on the syndrome->correction LRU (``0`` disables
+            caching).  Performance-only.
     """
 
     code: RotatedSurfaceCode
@@ -40,6 +93,9 @@ class SurfaceCodeDecoder:
     time_weight: float = 1.0
     diagonal_weight: Optional[float] = None
     exact_threshold: int = 40
+    dp_threshold: Optional[int] = None
+    cache_size: int = DEFAULT_CACHE_SIZE
+    stats: DecoderStats = field(default_factory=DecoderStats, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.graph = DecodingGraph(
@@ -51,8 +107,25 @@ class SurfaceCodeDecoder:
             diagonal_weight=self.diagonal_weight,
         )
         self._matcher = build_matcher(
-            self.graph, method=self.method, exact_threshold=self.exact_threshold
+            self.graph,
+            method=self.method,
+            exact_threshold=self.exact_threshold,
+            dp_threshold=self.dp_threshold,
         )
+        self._correction_cache: "OrderedDict[bytes, int]" = OrderedDict()
+        # Static per-decoder lookups, built once instead of per decode call.
+        checks = list(self.graph.checks)
+        self._support_matrix = np.zeros(
+            (len(checks), self.code.num_data_qubits), dtype=np.uint8
+        )
+        for pos, stab_index in enumerate(checks):
+            stab = self.code.stabilizers[stab_index]
+            self._support_matrix[pos, list(stab.data_qubits)] = 1
+        if self.stabilizer_type is StabilizerType.Z:
+            support = self.code.logical_z_support
+        else:
+            support = self.code.logical_x_support
+        self._logical_support_indices = np.asarray(list(support), dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Detector construction
@@ -79,31 +152,11 @@ class SurfaceCodeDecoder:
                 "syndrome_history must have shape "
                 f"({self.num_rounds}, {self.code.num_stabilizers})"
             )
-        data_bits = np.asarray(final_data_bits, dtype=np.uint8)
-        checks = list(self.graph.checks)
-        local = history[:, checks]
-        detectors = np.zeros((self.num_rounds + 1, len(checks)), dtype=bool)
-        detectors[0] = local[0].astype(bool)
-        detectors[1 : self.num_rounds] = (local[1:] ^ local[:-1]).astype(bool)
-        # Final layer: compare each check value recomputed from the data
-        # measurement with the last round's measured check.
-        for pos, stab_index in enumerate(checks):
-            stab = self.code.stabilizers[stab_index]
-            recomputed = int(data_bits[list(stab.data_qubits)].sum() % 2)
-            detectors[self.num_rounds, pos] = bool(recomputed ^ int(local[-1, pos]))
-        return detectors
+        return self.build_detectors_batch(history[None], np.asarray(final_data_bits)[None])[0]
 
     def _check_support_matrix(self) -> np.ndarray:
         """``(num_checks, num_data_qubits)`` incidence matrix of the checks."""
-        cached = getattr(self, "_support_matrix", None)
-        if cached is None:
-            checks = list(self.graph.checks)
-            cached = np.zeros((len(checks), self.code.num_data_qubits), dtype=np.uint8)
-            for pos, stab_index in enumerate(checks):
-                stab = self.code.stabilizers[stab_index]
-                cached[pos, list(stab.data_qubits)] = 1
-            self._support_matrix = cached
-        return cached
+        return self._support_matrix
 
     def build_detectors_batch(
         self,
@@ -136,36 +189,102 @@ class SurfaceCodeDecoder:
         detectors[:, 1 : self.num_rounds] = (local[:, 1:] ^ local[:, :-1]).astype(bool)
         # Final layer: compare each check value recomputed from the data
         # measurement with the last round's measured check.
-        recomputed = (data_bits @ self._check_support_matrix().T) % 2
+        recomputed = (data_bits @ self._support_matrix.T) % 2
         detectors[:, self.num_rounds] = (recomputed ^ local[:, -1]).astype(bool)
         return detectors
 
     def _logical_support(self) -> list:
         """Data-qubit support of the logical observable being decoded."""
-        if self.stabilizer_type is StabilizerType.Z:
-            return list(self.code.logical_z_support)
-        return list(self.code.logical_x_support)
+        return list(self._logical_support_indices)
 
     def observed_logical_flip(self, final_data_bits: np.ndarray) -> int:
         """Raw logical-observable flip implied by the final data measurement."""
         data_bits = np.asarray(final_data_bits, dtype=np.uint8)
-        return int(data_bits[self._logical_support()].sum() % 2)
+        return int(data_bits[self._logical_support_indices].sum() % 2)
 
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop the correction LRU and the graph's shortest-path caches."""
+        self._correction_cache.clear()
+        self.graph.clear_caches()
+
+    def _corrections(self, detectors: np.ndarray) -> np.ndarray:
+        """Predicted corrections for a ``(shots, layers, checks)`` batch.
+
+        Implements the layered dispatch documented in the module docstring.
+        Exactness of every layer: duplicate detector matrices produce equal
+        corrections because the matching engines are deterministic functions
+        of the detector set, so matching one representative per distinct
+        syndrome (or replaying a cached correction) is observationally
+        identical to matching every shot.
+        """
+        shots = detectors.shape[0]
+        corrections = np.zeros(shots, dtype=np.int64)
+        self.stats.shots += shots
+        flat = detectors.reshape(shots, -1)
+        nonempty = np.flatnonzero(flat.any(axis=1))
+        self.stats.empty += shots - nonempty.size
+        if not nonempty.size:
+            return corrections
+        packed = np.packbits(flat[nonempty], axis=1)
+        uniq, first, inverse = np.unique(
+            packed, axis=0, return_index=True, return_inverse=True
+        )
+        inverse = np.asarray(inverse).ravel()  # numpy 2.x may add an axis
+        self.stats.dedup_hits += nonempty.size - uniq.shape[0]
+        uniq_corrections = np.empty(uniq.shape[0], dtype=np.int64)
+        cache = self._correction_cache
+        caching = self.cache_size > 0
+        for pos in range(uniq.shape[0]):
+            key = uniq[pos].tobytes()
+            if caching:
+                cached = cache.get(key)
+                if cached is not None:
+                    cache.move_to_end(key)
+                    self.stats.cache_hits += 1
+                    uniq_corrections[pos] = cached
+                    continue
+            nodes = self.graph.detector_nodes(detectors[nonempty[first[pos]]])
+            correction = int(self._matcher.decode_nodes(nodes))
+            self.stats.matched += 1
+            uniq_corrections[pos] = correction
+            if caching:
+                cache[key] = correction
+                if len(cache) > self.cache_size:
+                    cache.popitem(last=False)
+        corrections[nonempty] = uniq_corrections[inverse]
+        return corrections
+
     def predict_correction(self, detectors: np.ndarray) -> int:
         """Predicted logical-observable correction for a detector matrix."""
-        return self._matcher.decode(detectors)
+        matrix = np.asarray(detectors, dtype=bool)
+        expected = (self.graph.num_layers, self.graph.num_checks)
+        if matrix.shape != expected:
+            raise ValueError(
+                f"detector matrix must have shape {expected}, got {matrix.shape}"
+            )
+        return int(self._corrections(matrix[None])[0])
 
     def decode_shot(
         self, syndrome_history: np.ndarray, final_data_bits: np.ndarray
     ) -> bool:
-        """Return True when the shot suffered a logical error after correction."""
-        detectors = self.build_detectors(syndrome_history, final_data_bits)
-        correction = self.predict_correction(detectors)
-        observed = self.observed_logical_flip(final_data_bits)
-        return bool(observed ^ correction)
+        """Return True when the shot suffered a logical error after correction.
+
+        Runs through the same layered batch pipeline as :meth:`decode_batch`
+        (as a batch of one), so scalar and batched engines share one code
+        path — including the cross-batch correction cache.
+        """
+        history = np.asarray(syndrome_history, dtype=np.uint8)
+        if history.shape != (self.num_rounds, self.code.num_stabilizers):
+            raise ValueError(
+                "syndrome_history must have shape "
+                f"({self.num_rounds}, {self.code.num_stabilizers})"
+            )
+        return bool(
+            self.decode_batch(history[None], np.asarray(final_data_bits)[None])[0]
+        )
 
     def decode_batch(
         self, syndrome_histories: np.ndarray, final_data_bits: np.ndarray
@@ -173,9 +292,8 @@ class SurfaceCodeDecoder:
         """Decode a whole batch of shots; True where a logical error survived.
 
         Detector construction and the observed-flip computation are fully
-        vectorised; the matching engine itself still runs per shot (minimum
-        weight matching is a sequential algorithm), but shots without any
-        detection events skip it entirely.
+        vectorised; distinct syndromes are matched once each (see
+        :meth:`_corrections` for the dedup/LRU layers).
 
         Args:
             syndrome_histories: ``(shots, num_rounds, num_stabilizers)`` raw
@@ -188,12 +306,6 @@ class SurfaceCodeDecoder:
         """
         detectors = self.build_detectors_batch(syndrome_histories, final_data_bits)
         data_bits = np.asarray(final_data_bits, dtype=np.uint8)
-        observed = data_bits[:, self._logical_support()].sum(axis=1) % 2
-        errors = np.zeros(detectors.shape[0], dtype=bool)
-        nonempty = detectors.any(axis=(1, 2))
-        for shot in np.flatnonzero(nonempty):
-            correction = self.predict_correction(detectors[shot])
-            errors[shot] = bool(int(observed[shot]) ^ correction)
-        # Shots with an empty syndrome get the identity correction.
-        errors[~nonempty] = observed[~nonempty].astype(bool)
-        return errors
+        observed = data_bits[:, self._logical_support_indices].sum(axis=1) % 2
+        corrections = self._corrections(detectors)
+        return (observed.astype(np.int64) ^ corrections).astype(bool)

@@ -180,6 +180,29 @@ class DecodingGraph:
         self.adjacency = sp.csr_matrix(
             (weights, (rows, cols)), shape=(size, size), dtype=np.float64
         )
+        # Flat edge arrays (one entry per undirected edge, in construction
+        # order — order is load-bearing for Union-Find tie-breaking) power
+        # the vectorised consumers: the frame-parity table propagation in
+        # ``repro.decoder.matching`` and the Union-Find decoder's edge setup.
+        # Weights are taken from the (rows, cols, weights) triplets directly,
+        # whose even positions list each edge once in insertion order.
+        num_edges = len(self._edge_frames)
+        endpoints = np.fromiter(
+            (node for key in self._edge_frames for node in key),
+            dtype=np.int64,
+            count=2 * num_edges,
+        ).reshape(num_edges, 2)
+        self.edge_endpoints = endpoints
+        self.edge_frame_bits = np.fromiter(
+            self._edge_frames.values(), dtype=bool, count=num_edges
+        )
+        self.edge_weights = np.asarray(weights[::2], dtype=np.float64)
+        # Sorted companion arrays so ``edge_frames_lookup`` resolves a whole
+        # array of (u, v) queries with one ``searchsorted``.
+        keys = endpoints[:, 0] * np.int64(size) + endpoints[:, 1]
+        order = np.argsort(keys)
+        self._edge_keys = keys[order]
+        self._edge_frame_bits_sorted = self.edge_frame_bits[order]
 
     # ------------------------------------------------------------------
     # Queries
@@ -188,6 +211,35 @@ class DecodingGraph:
         """Whether the edge (u, v) crosses the logical observable support."""
         key = (u, v) if u < v else (v, u)
         return self._edge_frames[key]
+
+    def edge_frames_lookup(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`edge_frame` over parallel endpoint arrays.
+
+        Every queried pair must be an edge of the graph; this is guaranteed
+        for (predecessor, node) pairs taken from a shortest-path tree.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keys = lo * (self.num_nodes + 1) + hi
+        idx = np.searchsorted(self._edge_keys, keys)
+        if idx.size and (
+            (idx >= self._edge_keys.size).any() or (self._edge_keys[idx] != keys).any()
+        ):
+            raise KeyError("edge_frames_lookup queried a non-edge pair")
+        return self._edge_frame_bits_sorted[idx]
+
+    def clear_caches(self) -> None:
+        """Drop the cached all-pairs shortest-path and frame-parity arrays.
+
+        Long-lived processes that decode many distinct graph shapes can call
+        this to release the ~13 bytes/node**2 held by a cached graph (see
+        ``repro.decoder.matching._APSP_NODE_LIMIT``) once a decoder is done.
+        """
+        for attr in ("_apsp_cache", "_frame_parity_cache"):
+            if hasattr(self, attr):
+                delattr(self, attr)
 
     def has_edge(self, u: int, v: int) -> bool:
         key = (u, v) if u < v else (v, u)

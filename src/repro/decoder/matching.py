@@ -1,15 +1,24 @@
 """Matching engines used by the MWPM decoder.
 
-Two matchers are provided:
+Three matchers are provided:
 
-* :class:`MwpmMatcher` — exact minimum-weight perfect matching via the blossom
-  algorithm (networkx), the gold standard used in the paper.
+* :class:`MwpmMatcher` — exact minimum-weight perfect matching, the gold
+  standard used in the paper.  Small syndromes are solved by an
+  O(k * 2^k) bitmask dynamic program that never touches networkx; larger
+  ones (and the rare provably-ambiguous small ones) fall back to the
+  blossom algorithm so corrections stay bit-identical to the seed
+  implementation (:mod:`repro.decoder.reference`).
 * :class:`GreedyMatcher` — a fast approximate matcher that repeatedly pairs
-  the closest remaining detectors (or sends a detector to the boundary).
+  the closest remaining detectors (or sends a detector to the boundary),
+  with option generation and sorting fully vectorised in numpy.
+* :class:`AutoMatcher` — exact below a syndrome-size threshold, greedy above.
 
-Both operate on the same distance/path infrastructure: scipy's Dijkstra over
-the sparse decoding graph, with path reconstruction used to accumulate the
-logical-observable frame along every matched path.
+All matchers share the same distance/path infrastructure: scipy's Dijkstra
+over the sparse decoding graph is cached all-pairs per graph, and a
+*frame-parity table* — ``frame_parity[source, node]`` = XOR of edge frames
+along the shortest path — is propagated once over the predecessor trees so
+every per-path observable-frame query is an O(1) table lookup instead of a
+Python predecessor walk.
 """
 
 from __future__ import annotations
@@ -21,38 +30,111 @@ import networkx as nx
 import numpy as np
 from scipy.sparse.csgraph import dijkstra
 
+from repro.decoder.blossom import (
+    min_weight_matching_complete,
+    min_weight_matching_edges,
+)
 from repro.decoder.graph import DecodingGraph
+
+#: Largest syndrome (detector count) routed to the bitmask DP when it is
+#: enabled.  Beyond ~12 detectors the 2^k subset tables stop paying for
+#: themselves against the native blossom port (measured on the d=5,
+#: 50-round workload of ``benchmarks/bench_decoder_fastpath.py``).
+DEFAULT_DP_THRESHOLD = 12
+
+
+def _default_dp_threshold(graph: DecodingGraph) -> int:
+    """The DP size limit used when the caller does not pin one.
+
+    The DP only answers when the two correction-parity classes do *not* tie
+    at minimum weight (ties defer to blossom so its tie-break survives
+    bit-for-bit).  With all-integral edge weights — the decoding graph's
+    default unit weights — equal-weight matchings of both parities are so
+    common (~2/3 of realistic syndromes at d=5, p=1e-3) that the DP mostly
+    runs as wasted work ahead of blossom, so it defaults off.  Any
+    non-integral weight breaks the degeneracy and the DP then resolves
+    almost every small syndrome outright, several times faster than
+    blossom.  Callers can always pin ``dp_threshold`` explicitly.
+    """
+    weights = graph.edge_weights
+    integral = bool(weights.size == 0 or np.equal(np.round(weights), weights).all())
+    return 0 if integral else DEFAULT_DP_THRESHOLD
+
+#: Relative tolerance deciding when the two parity classes of the DP tie.
+#: Ties are delegated to blossom so its tie-breaking (and therefore the
+#: emitted correction) is preserved bit for bit.
+_DP_PARITY_RTOL = 1e-9
 
 
 @dataclass
 class _ShortestPaths:
-    """Dijkstra output from every flipped detector to every graph node."""
+    """Dijkstra output from every flipped detector to every graph node.
 
+    ``distances``/``predecessors``/``frames`` may be the graph's *full*
+    cached matrices (``rows`` then holds each source's row index, avoiding a
+    per-shot row copy) or per-shot row blocks from a direct Dijkstra call
+    (``rows`` is then ``0..k-1``).  ``frames`` is the frame-parity table:
+    entry ``[row, node]`` is the XOR of edge frames along the shortest path
+    from the row's source to ``node``, exactly as the seed's predecessor
+    walk would have accumulated it (both derive from the same cached scipy
+    predecessor trees).  It is ``None`` when no table is available (graphs
+    above the APSP cache limit, or non-positive edge weights);
+    :meth:`path_frame` then falls back to the walk.
+    """
+
+    graph: DecodingGraph
     sources: np.ndarray
     distances: np.ndarray
     predecessors: np.ndarray
+    frames: Optional[np.ndarray]
+    rows: np.ndarray
 
     def distance(self, source_pos: int, target_node: int) -> float:
-        return float(self.distances[source_pos, target_node])
+        return float(self.distances[self.rows[source_pos], target_node])
 
-    def path_frame(self, graph: DecodingGraph, source_pos: int, target_node: int) -> bool:
+    def pair_distances(self) -> np.ndarray:
+        """``(k, k)`` distance matrix between the flipped detectors."""
+        return self.distances[np.ix_(self.rows, self.sources)]
+
+    def boundary_distances(self) -> np.ndarray:
+        """Length-``k`` distances from each detector to the boundary."""
+        return self.distances[self.rows, self.graph.boundary_node]
+
+    def pair_frames(self) -> Optional[np.ndarray]:
+        if self.frames is None:
+            return None
+        return self.frames[np.ix_(self.rows, self.sources)]
+
+    def boundary_frames(self) -> Optional[np.ndarray]:
+        if self.frames is None:
+            return None
+        return self.frames[self.rows, self.graph.boundary_node]
+
+    def path_frame(self, source_pos: int, target_node: int) -> bool:
         """XOR of edge frames along the shortest path source -> target."""
+        row = self.rows[source_pos]
+        if self.frames is not None:
+            return bool(self.frames[row, target_node])
         frame = False
         node = target_node
-        preds = self.predecessors[source_pos]
+        preds = self.predecessors[row]
         source = int(self.sources[source_pos])
         while node != source:
             prev = int(preds[node])
             if prev < 0:
                 raise ValueError("target node is unreachable from source")
-            frame ^= graph.edge_frame(prev, node)
+            frame ^= self.graph.edge_frame(prev, node)
             node = prev
         return frame
 
 
 #: Largest graph (node count) for which all-pairs shortest paths are cached.
-#: At the limit the two cached matrices cost ~64 MB; typical memory-experiment
-#: graphs (d=5, 50 rounds: 613 nodes) stay below 10 MB.
+#: Three arrays are cached per graph: distances (float64, 8 B/entry),
+#: predecessors (int32, 4 B/entry) and the frame-parity table (bool,
+#: 1 B/entry) — 13 bytes per node pair, i.e. ~55 MB at the 2048-node limit.
+#: Typical memory-experiment graphs (d=5, 50 rounds: 613 detector nodes +
+#: boundary) stay below 5 MB.  ``DecodingGraph.clear_caches()`` releases all
+#: three.
 _APSP_NODE_LIMIT = 2048
 
 
@@ -76,13 +158,71 @@ def _all_pairs(graph: DecodingGraph):
     return cached
 
 
+def _frame_parity_rows(
+    graph: DecodingGraph, distances: np.ndarray, predecessors: np.ndarray
+) -> np.ndarray:
+    """Propagate edge-frame XORs over shortest-path trees, vectorised.
+
+    For every source row, targets are visited in increasing-distance order,
+    so each node's predecessor is finalised before the node itself and
+
+        parity[s, t] = parity[s, pred[s, t]] XOR frame(pred[s, t], t)
+
+    reproduces exactly the XOR the seed implementation accumulated by
+    walking the predecessor chain.  Requires strictly positive edge weights
+    (a predecessor is then strictly closer than its child); the caller
+    checks this.  One pass over ``n`` distance-ordered columns with all
+    sources advanced per step — O(k*n) total with numpy inner loops.
+    """
+    k, n = distances.shape
+    frames = np.zeros((k, n), dtype=bool)
+    if k == 0 or n == 0:
+        return frames
+    order = np.argsort(distances, axis=1, kind="stable")
+    rows = np.arange(k)
+    for col in range(n):
+        targets = order[:, col]
+        preds = predecessors[rows, targets]
+        valid = preds >= 0
+        if not valid.any():
+            continue
+        rv = rows[valid]
+        tv = targets[valid]
+        pv = preds[valid]
+        frames[rv, tv] = frames[rv, pv] ^ graph.edge_frames_lookup(pv, tv)
+    return frames
+
+
+def _frame_parity_table(graph: DecodingGraph) -> Optional[np.ndarray]:
+    """The graph's full frame-parity table, computed once and cached.
+
+    Returns ``None`` (and caches the refusal) when the graph has
+    non-positive edge weights, for which distance-ordered propagation is not
+    well defined; path frames then fall back to predecessor walks.
+    """
+    cached = getattr(graph, "_frame_parity_cache", None)
+    if cached is None:
+        if graph.edge_weights.size and not (graph.edge_weights > 0).all():
+            cached = False
+        else:
+            distances, predecessors = _all_pairs(graph)
+            cached = _frame_parity_rows(graph, distances, predecessors)
+        graph._frame_parity_cache = cached
+    return None if cached is False else cached
+
+
 def _shortest_paths(graph: DecodingGraph, nodes: np.ndarray) -> _ShortestPaths:
     if graph.adjacency.shape[0] <= _APSP_NODE_LIMIT:
         distances, predecessors = _all_pairs(graph)
+        # The full cached matrices are shared, not sliced: consumers index
+        # through ``rows`` so no per-shot row copies are made.
         return _ShortestPaths(
+            graph=graph,
             sources=nodes,
-            distances=distances[nodes],
-            predecessors=predecessors[nodes],
+            distances=distances,
+            predecessors=predecessors,
+            frames=_frame_parity_table(graph),
+            rows=nodes,
         )
     distances, predecessors = dijkstra(
         graph.adjacency,
@@ -93,7 +233,239 @@ def _shortest_paths(graph: DecodingGraph, nodes: np.ndarray) -> _ShortestPaths:
     if nodes.size == 1:
         distances = np.atleast_2d(distances)
         predecessors = np.atleast_2d(predecessors)
-    return _ShortestPaths(sources=nodes, distances=distances, predecessors=predecessors)
+    return _ShortestPaths(
+        graph=graph,
+        sources=nodes,
+        distances=distances,
+        predecessors=predecessors,
+        frames=None,
+        rows=np.arange(nodes.size, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Small-syndrome exact matching: bitmask dynamic program
+# ----------------------------------------------------------------------
+#: Hard cap on the DP's syndrome size: the 2^k subset tables above k=16
+#: cost more memory and time than blossom ever would.
+_DP_HARD_CAP = 16
+
+#: Below this size the scalar DP beats the vectorised one (numpy call
+#: overhead exceeds the subset arithmetic).
+_DP_VEC_MIN = 6
+
+#: Per-k transition tables for the vectorised DP: for every even-popcount
+#: subset level, (subset ids, per-subset segment starts, predecessor subset
+#: ids, flattened (i, j) weight-gather indices).  ~10k int64 entries at
+#: k=12; rebuilt lazily per process.
+_DP_TABLE_CACHE: Dict[int, List[Tuple[np.ndarray, ...]]] = {}
+
+
+def _dp_level_tables(k: int) -> List[Tuple[np.ndarray, ...]]:
+    cached = _DP_TABLE_CACHE.get(k)
+    if cached is None:
+        by_level: Dict[int, List[int]] = {}
+        for subset in range(3, 1 << k):
+            bits = subset.bit_count()
+            if bits % 2 == 0:
+                by_level.setdefault(bits, []).append(subset)
+        cached = []
+        for bits in sorted(by_level):
+            subs = by_level[bits]
+            seg_starts: List[int] = []
+            prevs: List[int] = []
+            gather: List[int] = []
+            for subset in subs:
+                i = (subset & -subset).bit_length() - 1
+                rest = subset ^ (1 << i)
+                seg_starts.append(len(prevs))
+                remaining = rest
+                while remaining:
+                    j_bit = remaining & -remaining
+                    remaining ^= j_bit
+                    prevs.append(rest ^ j_bit)
+                    gather.append(i * k + j_bit.bit_length() - 1)
+            cached.append(
+                (
+                    np.asarray(subs, dtype=np.int64),
+                    np.asarray(seg_starts, dtype=np.int64),
+                    np.asarray(prevs, dtype=np.int64),
+                    np.asarray(gather, dtype=np.int64),
+                )
+            )
+        _DP_TABLE_CACHE[k] = cached
+    return cached
+
+
+def _dp_parity_costs_vec(
+    pair_w: np.ndarray,
+    pair_f: np.ndarray,
+    bw: np.ndarray,
+    bf: np.ndarray,
+) -> Tuple[float, float]:
+    """Vectorised twin of :func:`_dp_parity_costs` (bit-identical results).
+
+    Subsets are processed level by level (popcount 2, 4, ...); within a
+    level every transition is evaluated in one numpy expression and the
+    per-subset minima collapse through ``np.minimum.reduceat`` over the
+    precomputed segment starts.  The float operations per candidate are the
+    same additions the scalar loop performs, and taking a minimum is exact,
+    so both implementations return identical doubles.
+    """
+    k = int(bw.shape[0])
+    size = 1 << k
+    inf = float("inf")
+    dp0 = np.full(size, inf)
+    dp1 = np.full(size, inf)
+    dp0[0] = 0.0
+    w_flat = np.ascontiguousarray(pair_w, dtype=np.float64).ravel()
+    f_flat = np.ascontiguousarray(pair_f, dtype=bool).ravel()
+    for subs, seg_starts, prevs, gather in _dp_level_tables(k):
+        cost = w_flat[gather]
+        frame = f_flat[gather]
+        prev0 = dp0[prevs]
+        prev1 = dp1[prevs]
+        cand0 = np.where(frame, prev1, prev0) + cost
+        cand1 = np.where(frame, prev0, prev1) + cost
+        dp0[subs] = np.minimum.reduceat(cand0, seg_starts)
+        dp1[subs] = np.minimum.reduceat(cand1, seg_starts)
+    full = size - 1
+    if k % 2 == 0:
+        return float(dp0[full]), float(dp1[full])
+    cost0 = inf
+    cost1 = inf
+    bw_list = bw.tolist()
+    bf_list = bf.tolist()
+    for b in range(k):
+        prev = full ^ (1 << b)
+        cost = bw_list[b]
+        if cost == inf:
+            continue
+        if bf_list[b]:
+            cand0 = float(dp1[prev]) + cost
+            cand1 = float(dp0[prev]) + cost
+        else:
+            cand0 = float(dp0[prev]) + cost
+            cand1 = float(dp1[prev]) + cost
+        if cand0 < cost0:
+            cost0 = cand0
+        if cand1 < cost1:
+            cost1 = cand1
+    return cost0, cost1
+
+
+def _dp_parity_costs(
+    w: List[List[float]],
+    f: List[List[bool]],
+    bw: List[float],
+    bf: List[bool],
+) -> Tuple[float, float]:
+    """Minimum matching weight per correction-parity class.
+
+    Mirrors :class:`MwpmMatcher`'s weight model exactly: every detector is
+    paired with another detector at the tabulated pair distance, plus — only
+    when ``k`` is odd — exactly one detector terminates at the boundary.
+    Subsets are processed lowest-set-bit first, so the DP is O(k * 2^k).
+
+    Returns ``(cost of the best parity-0 matching, cost of the best
+    parity-1 matching)``; either may be ``inf`` when unreachable.
+    """
+    k = len(bw)
+    inf = float("inf")
+    size = 1 << k
+    dp0 = [inf] * size
+    dp1 = [inf] * size
+    dp0[0] = 0.0
+    for subset in range(3, size):
+        if subset.bit_count() % 2:
+            continue
+        i = (subset & -subset).bit_length() - 1
+        rest = subset ^ (1 << i)
+        wi = w[i]
+        fi = f[i]
+        best0 = inf
+        best1 = inf
+        remaining = rest
+        while remaining:
+            j_bit = remaining & -remaining
+            remaining ^= j_bit
+            j = j_bit.bit_length() - 1
+            cost = wi[j]
+            if cost == inf:
+                continue
+            prev = rest ^ j_bit
+            if fi[j]:
+                cand0 = dp1[prev] + cost
+                cand1 = dp0[prev] + cost
+            else:
+                cand0 = dp0[prev] + cost
+                cand1 = dp1[prev] + cost
+            if cand0 < best0:
+                best0 = cand0
+            if cand1 < best1:
+                best1 = cand1
+        dp0[subset] = best0
+        dp1[subset] = best1
+    full = size - 1
+    if k % 2 == 0:
+        return dp0[full], dp1[full]
+    cost0 = inf
+    cost1 = inf
+    for b in range(k):
+        prev = full ^ (1 << b)
+        cost = bw[b]
+        if cost == inf:
+            continue
+        if bf[b]:
+            cand0 = dp1[prev] + cost
+            cand1 = dp0[prev] + cost
+        else:
+            cand0 = dp0[prev] + cost
+            cand1 = dp1[prev] + cost
+        if cand0 < cost0:
+            cost0 = cand0
+        if cand1 < cost1:
+            cost1 = cand1
+    return cost0, cost1
+
+
+def _dp_correction(paths: _ShortestPaths, boundary: int) -> Optional[int]:
+    """Exact correction via the bitmask DP, or ``None`` to defer to blossom.
+
+    The DP tracks the minimum matching weight *per correction-parity class*
+    rather than one optimal matching.  When one class is strictly cheaper,
+    **every** minimum-weight matching — including whichever one blossom
+    would return — carries that parity, so answering from the DP is provably
+    bit-identical to the seed decoder.  ``None`` is returned in the cases
+    where that proof does not hold, all of which require degenerate
+    equal-weight shortest-path structure:
+
+    * the two parity classes tie (several minimum-weight matchings exist
+      and they disagree on the observable) — blossom's tie-break decides;
+    * the pairwise frame table is asymmetric (two equal-weight shortest
+      paths between a detector pair cross the observable differently, so
+      the accumulated parity depends on which endpoint's Dijkstra tree is
+      walked) — blossom's edge orientation decides;
+    * no finite-weight matching exists at all.
+    """
+    k = int(paths.sources.size)
+    pair_w = paths.pair_distances()
+    pair_f = paths.pair_frames()
+    if k > 1 and not np.array_equal(pair_f, pair_f.T):
+        return None
+    boundary_w = paths.boundary_distances()
+    boundary_f = paths.boundary_frames()
+    if k >= _DP_VEC_MIN:
+        cost0, cost1 = _dp_parity_costs_vec(pair_w, pair_f, boundary_w, boundary_f)
+    else:
+        cost0, cost1 = _dp_parity_costs(
+            pair_w.tolist(), pair_f.tolist(), boundary_w.tolist(), boundary_f.tolist()
+        )
+    if not (np.isfinite(cost0) or np.isfinite(cost1)):
+        return None
+    if abs(cost0 - cost1) <= _DP_PARITY_RTOL * max(1.0, abs(cost0), abs(cost1)):
+        return None
+    return 0 if cost0 < cost1 else 1
 
 
 class _BaseMatcher:
@@ -101,6 +473,12 @@ class _BaseMatcher:
 
     def __init__(self, graph: DecodingGraph):
         self.graph = graph
+        #: Dispatch counters (how many decodes each engine stage served);
+        #: read by ``benchmarks/bench_decoder_fastpath.py``.
+        self.stats: Dict[str, int] = {}
+
+    def _count(self, key: str) -> None:
+        self.stats[key] = self.stats.get(key, 0) + 1
 
     def decode(self, detector_matrix: np.ndarray) -> int:
         """Return the predicted logical-observable correction (0 or 1)."""
@@ -112,14 +490,21 @@ class _BaseMatcher:
         if nodes.size == 0:
             return 0
         paths = _shortest_paths(self.graph, nodes)
+        fast = self._fast_correction(paths)
+        if fast is not None:
+            return fast
         pairs, to_boundary = self._match(paths)
         correction = False
         for i, j in pairs:
-            correction ^= paths.path_frame(self.graph, i, int(nodes[j]))
+            correction ^= paths.path_frame(i, int(nodes[j]))
         boundary = self.graph.boundary_node
         for i in to_boundary:
-            correction ^= paths.path_frame(self.graph, i, boundary)
+            correction ^= paths.path_frame(i, boundary)
         return int(correction)
+
+    def _fast_correction(self, paths: _ShortestPaths) -> Optional[int]:
+        """Hook for engines with a pairing-free fast path (default: none)."""
+        return None
 
     def _match(
         self, paths: _ShortestPaths
@@ -128,7 +513,7 @@ class _BaseMatcher:
 
 
 class MwpmMatcher(_BaseMatcher):
-    """Exact minimum-weight perfect matching (blossom algorithm).
+    """Exact minimum-weight perfect matching.
 
     Shortest-path distances are computed on the full decoding graph, boundary
     node included, so the distance between two detectors already accounts for
@@ -139,7 +524,12 @@ class MwpmMatcher(_BaseMatcher):
     detectors alone (plus one virtual boundary node when ``k`` is odd) is
     therefore exactly equivalent to the classic construction that mirrors
     every detector with a zero-weight boundary copy, while handing the
-    blossom algorithm half the nodes and a quarter of the edges.
+    matcher half the nodes and a quarter of the edges.
+
+    Syndromes with at most ``dp_threshold`` detectors are solved by the
+    bitmask DP (:func:`_dp_parity_costs`), which is exact under the same
+    weight model and defers to blossom whenever tie-breaking could influence
+    the emitted bit; larger syndromes run the blossom algorithm directly.
     """
 
     #: Virtual node pairing the odd detector with the boundary.  An integer
@@ -147,24 +537,114 @@ class MwpmMatcher(_BaseMatcher):
     #: positions are the non-negative integers).
     _BOUNDARY = -1
 
-    def _match(self, paths: _ShortestPaths) -> Tuple[List[Tuple[int, int]], List[int]]:
-        nodes = paths.sources
-        k = nodes.size
-        boundary = self.graph.boundary_node
-        pair_dist = paths.distances[:, nodes]
-        graph = nx.Graph()
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        dp_threshold: Optional[int] = None,
+        blossom: str = "native",
+    ):
+        super().__init__(graph)
+        self.dp_threshold = (
+            _default_dp_threshold(graph) if dp_threshold is None else int(dp_threshold)
+        )
+        if blossom not in ("native", "networkx"):
+            raise ValueError(f"unknown blossom implementation {blossom!r}")
+        self.blossom = blossom
+
+    def _fast_correction(self, paths: _ShortestPaths) -> Optional[int]:
+        limit = min(self.dp_threshold, _DP_HARD_CAP)
+        if paths.frames is None or not 0 < paths.sources.size <= limit:
+            self._count("blossom")
+            return None
+        result = _dp_correction(paths, self.graph.boundary_node)
+        self._count("dp" if result is not None else "dp_fallback")
+        return result
+
+    def _blossom_edges(
+        self, paths: _ShortestPaths, pair_dist: np.ndarray
+    ) -> List[Tuple[int, int, float]]:
+        """The matching problem's edge list, in networkx report order.
+
+        The native blossom port derives vertex numbering, adjacency order
+        and therefore every tie-break from the edge order, so this must be
+        the order ``networkx.Graph.edges`` iterates for the seed's
+        construction (pair edges added in upper-triangular order, then the
+        boundary edges): per detector ``i`` ascending, its pairs ``(i, j >
+        i)`` followed by its boundary edge ``(i, -1)``.
+        """
+        k = paths.sources.size
+        odd = k % 2 == 1
+        boundary_dist = paths.boundary_distances() if odd else None
+        if np.isfinite(pair_dist).all():
+            rows = pair_dist.tolist()
+            edges: List[Tuple[int, int, float]] = []
+            if odd:
+                bdist = boundary_dist.tolist()
+                for i in range(k):
+                    row = rows[i]
+                    edges.extend((i, j, row[j]) for j in range(i + 1, k))
+                    edges.append((i, self._BOUNDARY, bdist[i]))
+            else:
+                for i in range(k):
+                    row = rows[i]
+                    edges.extend((i, j, row[j]) for j in range(i + 1, k))
+            return edges
+        return self._blossom_edges_sparse(paths, pair_dist)
+
+    def _blossom_edges_sparse(
+        self, paths: _ShortestPaths, pair_dist: np.ndarray
+    ) -> List[Tuple[int, int, float]]:
+        k = paths.sources.size
+        odd = k % 2 == 1
+        boundary_dist = paths.boundary_distances() if odd else None
+        # Rare non-finite pair distances: simulate networkx's insertion
+        # bookkeeping literally (node order = first appearance among the
+        # *added* edges, which no longer follows the dense pattern).
+        adjacency: Dict[int, List[Tuple[int, float]]] = {}
+
+        def add(u: int, v: int, w: float) -> None:
+            adjacency.setdefault(u, []).append((v, w))
+            adjacency.setdefault(v, []).append((u, w))
+
         i_idx, j_idx = np.triu_indices(k, 1)
         weights = pair_dist[i_idx, j_idx]
         finite = np.isfinite(weights)
-        graph.add_weighted_edges_from(
-            zip(i_idx[finite].tolist(), j_idx[finite].tolist(), weights[finite].tolist())
-        )
-        if k % 2 == 1:
-            boundary_dist = paths.distances[:, boundary]
-            graph.add_weighted_edges_from(
-                (self._BOUNDARY, i, float(boundary_dist[i])) for i in range(k)
-            )
-        matching = nx.min_weight_matching(graph)
+        for i, j, w in zip(
+            i_idx[finite].tolist(), j_idx[finite].tolist(), weights[finite].tolist()
+        ):
+            add(i, j, w)
+        if odd:
+            for i in range(k):
+                add(self._BOUNDARY, i, float(boundary_dist[i]))
+        edges = []
+        seen = set()
+        for u in adjacency:
+            for v, w in adjacency[u]:
+                if (v, u) in seen or (u, v) in seen:
+                    continue
+                seen.add((u, v))
+                edges.append((u, v, w))
+        return edges
+
+    def _match(self, paths: _ShortestPaths) -> Tuple[List[Tuple[int, int]], List[int]]:
+        nodes = paths.sources
+        pair_dist = paths.pair_distances()
+        if self.blossom == "native":
+            if np.isfinite(pair_dist).all():
+                boundary_dist = (
+                    paths.boundary_distances() if nodes.size % 2 == 1 else None
+                )
+                matching = min_weight_matching_complete(
+                    pair_dist, boundary_dist, boundary_label=self._BOUNDARY
+                )
+            else:
+                matching = min_weight_matching_edges(
+                    self._blossom_edges_sparse(paths, pair_dist)
+                )
+        else:
+            graph = nx.Graph()
+            graph.add_weighted_edges_from(self._blossom_edges(paths, pair_dist))
+            matching = nx.min_weight_matching(graph)
         pairs: List[Tuple[int, int]] = []
         to_boundary: List[int] = []
         for u, v in matching:
@@ -178,26 +658,54 @@ class MwpmMatcher(_BaseMatcher):
 
 
 class GreedyMatcher(_BaseMatcher):
-    """Greedy nearest-pair matching (fast, approximate)."""
+    """Greedy nearest-pair matching (fast, approximate).
+
+    Option generation is fully vectorised: boundary and pair candidates are
+    laid out in the seed implementation's insertion order (per detector, its
+    boundary option followed by its pairs in index order) and sorted with a
+    stable argsort, so equal-weight options are taken in the exact order the
+    original Python loop-and-sort produced.
+    """
 
     def _match(self, paths: _ShortestPaths) -> Tuple[List[Tuple[int, int]], List[int]]:
         nodes = paths.sources
         k = nodes.size
-        boundary = self.graph.boundary_node
-        options: List[Tuple[float, int, int]] = []
-        for i in range(k):
-            options.append((paths.distance(i, boundary), i, -1))
-            for j in range(i + 1, k):
-                weight = paths.distance(i, int(nodes[j]))
-                if np.isfinite(weight):
-                    options.append((weight, i, j))
-        options.sort(key=lambda item: item[0])
+        self._count("greedy")
+        boundary_dist = paths.boundary_distances()
+        pair_dist = paths.pair_distances()
+        i_idx, j_idx = np.triu_indices(k, 1)
+        total = k + i_idx.size
+        option_w = np.empty(total, dtype=np.float64)
+        option_i = np.empty(total, dtype=np.int64)
+        option_j = np.empty(total, dtype=np.int64)
+        # Row i occupies one slot for its boundary option plus (k-1-i) pair
+        # slots, mirroring the seed's append order exactly.
+        counts = k - np.arange(k)
+        starts = np.concatenate(([0], np.cumsum(counts[:-1]))).astype(np.int64)
+        option_w[starts] = boundary_dist
+        option_i[starts] = np.arange(k)
+        option_j[starts] = -1
+        if i_idx.size:
+            pair_pos = starts[i_idx] + 1 + (j_idx - i_idx - 1)
+            option_w[pair_pos] = pair_dist[i_idx, j_idx]
+            option_i[pair_pos] = i_idx
+            option_j[pair_pos] = j_idx
+        keep = (option_j < 0) | np.isfinite(option_w)
+        if not keep.all():
+            option_w = option_w[keep]
+            option_i = option_i[keep]
+            option_j = option_j[keep]
+        order = np.argsort(option_w, kind="stable").tolist()
+        opt_i = option_i.tolist()
+        opt_j = option_j.tolist()
         used = np.zeros(k, dtype=bool)
         pairs: List[Tuple[int, int]] = []
         to_boundary: List[int] = []
-        for weight, i, j in options:
+        for idx in order:
+            i = opt_i[idx]
             if used[i]:
                 continue
+            j = opt_j[idx]
             if j >= 0:
                 if used[j]:
                     continue
@@ -217,11 +725,19 @@ class GreedyMatcher(_BaseMatcher):
 class AutoMatcher(_BaseMatcher):
     """Exact matching for small syndromes, greedy beyond a size threshold."""
 
-    def __init__(self, graph: DecodingGraph, exact_threshold: int = 40):
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        exact_threshold: int = 40,
+        dp_threshold: Optional[int] = None,
+    ):
         super().__init__(graph)
         self.exact_threshold = exact_threshold
-        self._exact = MwpmMatcher(graph)
+        self._exact = MwpmMatcher(graph, dp_threshold=dp_threshold)
         self._greedy = GreedyMatcher(graph)
+        # Sub-matchers increment one shared counter dict.
+        self._exact.stats = self.stats
+        self._greedy.stats = self.stats
 
     def decode_nodes(self, nodes: np.ndarray) -> int:
         nodes = np.asarray(nodes, dtype=np.int64)
@@ -235,20 +751,33 @@ class AutoMatcher(_BaseMatcher):
         raise NotImplementedError
 
 
-def build_matcher(graph: DecodingGraph, method: str = "auto", exact_threshold: int = 40):
+def build_matcher(
+    graph: DecodingGraph,
+    method: str = "auto",
+    exact_threshold: int = 40,
+    dp_threshold: Optional[int] = None,
+):
     """Construct a decoder engine by name.
 
     Accepted names: ``mwpm``/``exact``/``blossom`` (exact matching),
     ``greedy``, ``auto`` (exact below a syndrome-size threshold, greedy
-    above), and ``union-find`` (the Union-Find decoder).
+    above), and ``union-find`` (the Union-Find decoder).  ``dp_threshold``
+    caps the syndrome size handled by the exact bitmask DP; ``None`` picks
+    the adaptive default (:data:`DEFAULT_DP_THRESHOLD` for graphs with any
+    non-integral edge weight, ``0`` — DP off — for all-integral weights,
+    whose frequent parity ties would defer to blossom anyway; see
+    :func:`_default_dp_threshold`), and ``0`` forces every exact decode
+    through blossom, which is useful for benchmarking.
     """
     key = method.strip().lower()
     if key in ("mwpm", "exact", "blossom"):
-        return MwpmMatcher(graph)
+        return MwpmMatcher(graph, dp_threshold=dp_threshold)
     if key == "greedy":
         return GreedyMatcher(graph)
     if key == "auto":
-        return AutoMatcher(graph, exact_threshold=exact_threshold)
+        return AutoMatcher(
+            graph, exact_threshold=exact_threshold, dp_threshold=dp_threshold
+        )
     if key in ("union-find", "unionfind", "uf"):
         from repro.decoder.union_find import UnionFindMatcher
 

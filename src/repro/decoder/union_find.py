@@ -65,12 +65,20 @@ class UnionFindMatcher:
     def __init__(self, graph: DecodingGraph):
         self.graph = graph
         self._num_nodes = graph.num_nodes + 1  # + boundary
-        self._edges: List[Tuple[int, int, float, bool]] = []
+        # The graph exposes flat endpoint/weight/frame arrays in construction
+        # order, so edge setup is a single zip instead of one sparse-matrix
+        # scalar lookup per edge — and edge ids (which break peeling ties)
+        # stay identical to the original per-edge loop.
+        self._edges: List[Tuple[int, int, float, bool]] = list(
+            zip(
+                graph.edge_endpoints[:, 0].tolist(),
+                graph.edge_endpoints[:, 1].tolist(),
+                graph.edge_weights.tolist(),
+                graph.edge_frame_bits.tolist(),
+            )
+        )
         self._incident: List[List[int]] = [[] for _ in range(self._num_nodes)]
-        for (u, v), frame in graph._edge_frames.items():
-            weight = float(graph.adjacency[u, v])
-            edge_id = len(self._edges)
-            self._edges.append((u, v, weight, frame))
+        for edge_id, (u, v, _, _) in enumerate(self._edges):
             self._incident[u].append(edge_id)
             self._incident[v].append(edge_id)
 

@@ -115,6 +115,8 @@ def dqlr_comparison_plan(
     engine: str = "auto",
     batch_size: int = None,
     chunk_shots: int = None,
+    decoder_dp_threshold: int = None,
+    decoder_cache_size: int = None,
 ) -> SweepPlan:
     """The Appendix A.2 sweep (Figures 20/21) as an executable plan."""
     configs = [
@@ -130,6 +132,8 @@ def dqlr_comparison_plan(
             decoder_method=decoder_method,
             engine=engine,
             batch_size=batch_size,
+            decoder_dp_threshold=decoder_dp_threshold,
+            decoder_cache_size=decoder_cache_size,
         )
         for distance in distances
         for policy_name in policies
@@ -153,6 +157,8 @@ def run_dqlr_comparison(
     resume: bool = False,
     chunk_shots: int = None,
     executor: SweepExecutor = None,
+    decoder_dp_threshold: int = None,
+    decoder_cache_size: int = None,
 ) -> PolicySweepResult:
     """Sweep DQLR-based leakage removal across distances and policies.
 
@@ -176,6 +182,8 @@ def run_dqlr_comparison(
         engine=engine,
         batch_size=batch_size,
         chunk_shots=chunk_shots,
+        decoder_dp_threshold=decoder_dp_threshold,
+        decoder_cache_size=decoder_cache_size,
     )
     if executor is None:
         warn_unseeded_cache(seed, cache_dir, resume)

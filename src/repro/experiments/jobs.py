@@ -92,6 +92,12 @@ class SweepJob:
     seed_entropy: int = 0
     spawn_key: Tuple[int, ...] = ()
     chunk_shots: int = DEFAULT_CHUNK_SHOTS
+    #: Decoder fast-path tuning (see ``repro.decoder.decoder``).  These are
+    #: deliberately *not* part of :meth:`config_dict`: corrections — and
+    #: therefore every statistic — are bit-identical for any value, so jobs
+    #: tuned differently still address the same cache entry.
+    decoder_dp_threshold: Optional[int] = None
+    decoder_cache_size: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Identity
@@ -171,6 +177,8 @@ class SweepJob:
             protocol=self.protocol,
             decode=self.decode,
             decoder_method=self.decoder_method,
+            decoder_dp_threshold=self.decoder_dp_threshold,
+            decoder_cache_size=self.decoder_cache_size,
             seed=rng,
             engine=self.engine,
             batch_size=self.batch_size,

@@ -82,6 +82,12 @@ class MemoryExperiment:
         protocol: ``"swap"`` (main text) or ``"dqlr"`` (Appendix A.2).
         decode: Whether to decode shots (disable for LPR-only studies).
         decoder_method: Matching engine passed to the decoder.
+        decoder_dp_threshold: Largest syndrome the decoder's exact bitmask
+            DP handles before blossom takes over (``None`` = library
+            default).  Performance-only: corrections are bit-identical for
+            any value.
+        decoder_cache_size: Bound on the decoder's syndrome->correction LRU
+            (``None`` = library default, ``0`` disables).  Performance-only.
         seed: Seed or generator for reproducibility.
         engine: ``"batched"`` (vectorised multi-shot execution), ``"scalar"``
             (the reference one-shot-at-a-time loop), or ``"auto"`` (batched
@@ -104,6 +110,8 @@ class MemoryExperiment:
         protocol: str = PROTOCOL_SWAP,
         decode: bool = True,
         decoder_method: str = "auto",
+        decoder_dp_threshold: Optional[int] = None,
+        decoder_cache_size: Optional[int] = None,
         seed: RngLike = None,
         engine: str = "auto",
         batch_size: Optional[int] = None,
@@ -145,11 +153,16 @@ class MemoryExperiment:
         )
         self.decoder: Optional[SurfaceCodeDecoder] = None
         if decode:
+            decoder_kwargs = {}
+            if decoder_cache_size is not None:
+                decoder_kwargs["cache_size"] = decoder_cache_size
             self.decoder = SurfaceCodeDecoder(
                 code=code,
                 num_rounds=rounds,
                 stabilizer_type=StabilizerType.Z,
                 method=decoder_method,
+                dp_threshold=decoder_dp_threshold,
+                **decoder_kwargs,
             )
         self.policy.bind(code, rng=self.rng)
         self._data_indices = np.asarray(code.data_indices, dtype=np.int64)

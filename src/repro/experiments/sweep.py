@@ -68,6 +68,8 @@ def _config(
     decoder_method: str = "auto",
     engine: str = "auto",
     batch_size: Optional[int] = None,
+    decoder_dp_threshold: Optional[int] = None,
+    decoder_cache_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """One grid point in the dict form consumed by :meth:`SweepPlan.build`."""
     return dict(
@@ -84,6 +86,8 @@ def _config(
         decoder_method=decoder_method,
         engine=engine,
         batch_size=batch_size,
+        decoder_dp_threshold=decoder_dp_threshold,
+        decoder_cache_size=decoder_cache_size,
     )
 
 
@@ -103,6 +107,8 @@ def run_single_plan(
     engine: str = "auto",
     batch_size: Optional[int] = None,
     chunk_shots: Optional[int] = None,
+    decoder_dp_threshold: Optional[int] = None,
+    decoder_cache_size: Optional[int] = None,
 ) -> SweepPlan:
     """A one-job plan for a single (distance, policy) configuration."""
     return SweepPlan.build(
@@ -121,6 +127,8 @@ def run_single_plan(
                 decoder_method=decoder_method,
                 engine=engine,
                 batch_size=batch_size,
+                decoder_dp_threshold=decoder_dp_threshold,
+                decoder_cache_size=decoder_cache_size,
             )
         ],
         seed=seed,
@@ -148,6 +156,8 @@ def run_single(
     resume: bool = False,
     chunk_shots: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
+    decoder_dp_threshold: Optional[int] = None,
+    decoder_cache_size: Optional[int] = None,
 ) -> MemoryExperimentResult:
     """Run one (distance, policy) configuration and return its result."""
     plan = run_single_plan(
@@ -166,6 +176,8 @@ def run_single(
         engine=engine,
         batch_size=batch_size,
         chunk_shots=chunk_shots,
+        decoder_dp_threshold=decoder_dp_threshold,
+        decoder_cache_size=decoder_cache_size,
     )
     return _executor(jobs, cache_dir, resume, executor, seed).run(plan)[0]
 
@@ -185,6 +197,8 @@ def compare_policies_plan(
     engine: str = "auto",
     batch_size: Optional[int] = None,
     chunk_shots: Optional[int] = None,
+    decoder_dp_threshold: Optional[int] = None,
+    decoder_cache_size: Optional[int] = None,
 ) -> SweepPlan:
     """The (distance x policy) grid behind Figures 14-17 and 20 as a plan."""
     configs = [
@@ -201,6 +215,8 @@ def compare_policies_plan(
             decoder_method=decoder_method,
             engine=engine,
             batch_size=batch_size,
+            decoder_dp_threshold=decoder_dp_threshold,
+            decoder_cache_size=decoder_cache_size,
         )
         for distance in distances
         for policy_name in policies
@@ -227,6 +243,8 @@ def compare_policies(
     resume: bool = False,
     chunk_shots: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
+    decoder_dp_threshold: Optional[int] = None,
+    decoder_cache_size: Optional[int] = None,
 ) -> PolicySweepResult:
     """Sweep policies across code distances (the shape behind Figures 14-17, 20)."""
     plan = compare_policies_plan(
@@ -244,6 +262,8 @@ def compare_policies(
         engine=engine,
         batch_size=batch_size,
         chunk_shots=chunk_shots,
+        decoder_dp_threshold=decoder_dp_threshold,
+        decoder_cache_size=decoder_cache_size,
     )
     results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
     return PolicySweepResult(list(results))
