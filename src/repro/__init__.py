@@ -3,9 +3,13 @@ Fault-Tolerant Quantum Computing" (Vittal, Das, Qureshi — MICRO 2023).
 
 The public API re-exports the pieces most users need:
 
-* :class:`~repro.codes.RotatedSurfaceCode` — the surface code substrate,
+* :class:`~repro.codes.RotatedSurfaceCode` /
+  :class:`~repro.codes.RepetitionCode` — the code substrates
+  (``make_code`` builds either by family name),
 * :class:`~repro.noise.NoiseParams` / :class:`~repro.noise.LeakageModel` —
-  the circuit-level noise and leakage model,
+  the circuit-level noise and leakage model — and
+  :class:`~repro.noise.NoiseProfile`, which generalises the Section 5.2.1
+  uniform model to biased and per-qubit-heterogeneous rates,
 * the LRC scheduling policies (``make_policy``; No-LRC, Always-LRCs, Optimal,
   ERASER, ERASER+M),
 * :class:`~repro.experiments.MemoryExperiment` — the memory-experiment
@@ -14,7 +18,7 @@ The public API re-exports the pieces most users need:
   figures and tables.
 """
 
-from repro.codes import RotatedSurfaceCode
+from repro.codes import RepetitionCode, RotatedSurfaceCode, make_code
 from repro.core import (
     AlwaysLrcPolicy,
     EraserMPolicy,
@@ -33,14 +37,17 @@ from repro.experiments import (
     ler_vs_distance,
     lpr_time_series,
 )
-from repro.noise import LeakageModel, LeakageTransportModel, NoiseParams
+from repro.noise import LeakageModel, LeakageTransportModel, NoiseParams, NoiseProfile
 from repro.sim import LeakageFrameSimulator
 
 __version__ = "1.0.0"
 
 __all__ = [
     "RotatedSurfaceCode",
+    "RepetitionCode",
+    "make_code",
     "NoiseParams",
+    "NoiseProfile",
     "LeakageModel",
     "LeakageTransportModel",
     "LeakageFrameSimulator",

@@ -46,6 +46,7 @@ from repro.experiments.executor import SweepExecutor
 from repro.experiments.registry import format_experiment_index, get_experiment
 from repro.experiments.results import PolicySweepResult
 from repro.experiments.sweep import compare_policies, lpr_time_series
+from repro.codes import CODE_FAMILIES
 from repro.hardware.cost_model import FpgaCostModel
 from repro.hardware.rtl_gen import generate_eraser_rtl
 from repro.noise.leakage import LeakageTransportModel
@@ -73,6 +74,21 @@ def _add_common_sweep_args(parser: argparse.ArgumentParser) -> None:
         choices=["auto", "batched", "scalar"],
         default="auto",
         help="Monte-Carlo engine: vectorised batched shots or the scalar loop.",
+    )
+    parser.add_argument(
+        "--code-family",
+        choices=list(CODE_FAMILIES),
+        default="rotated-surface",
+        help="Code substrate the memory experiment runs on.",
+    )
+    parser.add_argument(
+        "--noise-profile",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="Noise profile modulating the uniform error model, e.g. "
+        "'biased:eta=4', 'heterogeneous:seed=7,spread=0.5', or "
+        "'hot-spot:indices=0+3,factor=8' (default: uniform).",
     )
     parser.add_argument(
         "--batch-size",
@@ -139,6 +155,14 @@ def _sweep_options(args: argparse.Namespace) -> dict:
     )
 
 
+def _scenario_options(args: argparse.Namespace) -> dict:
+    """The scenario-diversity knobs shared by every Monte-Carlo subcommand."""
+    return dict(
+        code_family=args.code_family,
+        noise_profile=args.noise_profile,
+    )
+
+
 def _transport(name: str) -> LeakageTransportModel:
     return LeakageTransportModel(name)
 
@@ -156,6 +180,7 @@ def _cmd_ler(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         decoder_dp_threshold=args.decoder_dp_threshold,
         decoder_cache_size=args.decoder_cache_size,
+        **_scenario_options(args),
         **_sweep_options(args),
     )
     print(sweep.format_table())
@@ -175,6 +200,7 @@ def _cmd_lpr(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        **_scenario_options(args),
         **_sweep_options(args),
     )
     headers = ["round"] + list(series.keys())
@@ -197,6 +223,7 @@ def _cmd_speculation(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         batch_size=args.batch_size,
+        **_scenario_options(args),
         **_sweep_options(args),
     )
     rows = []
@@ -346,6 +373,7 @@ def _cmd_dqlr(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         decoder_dp_threshold=args.decoder_dp_threshold,
         decoder_cache_size=args.decoder_cache_size,
+        **_scenario_options(args),
         **_sweep_options(args),
     )
     print(sweep.format_table())

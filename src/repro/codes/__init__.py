@@ -1,17 +1,66 @@
 """Quantum error correction code substrates (Section 2.1 background).
 
-This subpackage provides the rotated surface code lattice used throughout the
-ERASER reproduction: qubit layout, stabilizer definitions, the four-layer
-CNOT schedule for syndrome extraction, and logical operator supports.
+This subpackage provides the code families the reproduction can run memory
+experiments on: the rotated surface code used throughout the paper's
+evaluation and a repetition-code baseline for scenario-diversity studies.
+Both implement the shared :class:`~repro.codes.base.StabilizerCode`
+interface: qubit layout, stabilizer definitions, conflict-free CNOT schedules
+for syndrome extraction, and logical operator supports.
 """
 
+from repro.codes.base import StabilizerCode
 from repro.codes.layout import DataQubit, ParityQubit, StabilizerType
+from repro.codes.repetition import RepetitionCode
 from repro.codes.rotated_surface import RotatedSurfaceCode, Stabilizer
 
+#: Code families addressable by name (the ``code_family`` sweep/CLI knob).
+CODE_FAMILIES = ("rotated-surface", "repetition")
+
+DEFAULT_CODE_FAMILY = "rotated-surface"
+
+_FAMILY_CLASSES = {
+    "rotated-surface": RotatedSurfaceCode,
+    "repetition": RepetitionCode,
+}
+
+
+def canonical_code_family(family: str) -> str:
+    """Resolve a family name or alias to its canonical registry key."""
+    key = family.strip().lower().replace("_", "-").replace(" ", "-")
+    aliases = {
+        "surface": "rotated-surface",
+        "rotated": "rotated-surface",
+        "rotatedsurface": "rotated-surface",
+        "rep": "repetition",
+        "repetition-code": "repetition",
+    }
+    key = aliases.get(key, key)
+    if key not in _FAMILY_CLASSES:
+        raise ValueError(
+            f"unknown code family {family!r}; choose from {sorted(_FAMILY_CLASSES)}"
+        )
+    return key
+
+
+def make_code(family: str, distance: int) -> StabilizerCode:
+    """Instantiate a code substrate by family name.
+
+    Accepted names: ``rotated-surface`` (the paper's code, Section 2.1) and
+    ``repetition`` (case-insensitive; underscores and spaces are tolerated).
+    """
+    return _FAMILY_CLASSES[canonical_code_family(family)](distance)
+
+
 __all__ = [
+    "CODE_FAMILIES",
+    "DEFAULT_CODE_FAMILY",
     "DataQubit",
     "ParityQubit",
-    "StabilizerType",
+    "RepetitionCode",
     "RotatedSurfaceCode",
+    "StabilizerCode",
+    "StabilizerType",
     "Stabilizer",
+    "canonical_code_family",
+    "make_code",
 ]

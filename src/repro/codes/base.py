@@ -1,0 +1,144 @@
+"""Shared interface of all stabilizer-code substrates (Section 2.1 background).
+
+Every code family in this reproduction — the rotated surface code of the
+paper's main evaluation and the repetition-code baseline used for
+scenario-diversity studies — exposes one duck-typed interface that the rest of
+the stack (the QEC Schedule Generator, the decoding-graph builder, the LRC
+scheduling policies, and the memory-experiment harness) is written against:
+
+* lists of :class:`~repro.codes.layout.DataQubit` / ``ParityQubit`` objects
+  with global physical indices (data qubits first, then ancillas),
+* a list of stabilizers, each naming its type, ancilla, support and
+  conflict-free CNOT schedule,
+* adjacency queries between data qubits and stabilizers, and
+* the data-qubit supports of the logical Z and X operators.
+
+:class:`StabilizerCode` implements everything that is derivable from those
+containers once; concrete families only build the lattice-specific parts
+(qubit placement, stabilizer supports/schedules, logical supports) and then
+call :meth:`StabilizerCode.finalize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.codes.layout import Coord, StabilizerType
+
+
+class StabilizerCode:
+    """Base class providing the family-independent accessors of a code.
+
+    Concrete subclasses populate ``data_qubits``, ``parity_qubits``,
+    ``stabilizers``, ``_data_index`` and the logical supports during their
+    construction and then call :meth:`finalize` to build the adjacency maps.
+    """
+
+    #: Canonical family name (the ``code_family`` knob of sweeps and the CLI).
+    family: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Build the adjacency maps once the stabilizer list is complete."""
+        n_data = self.num_data_qubits
+        self._data_to_stabs: List[List[int]] = [[] for _ in range(n_data)]
+        self._data_to_z_stabs: List[List[int]] = [[] for _ in range(n_data)]
+        self._data_to_x_stabs: List[List[int]] = [[] for _ in range(n_data)]
+        for stab in self.stabilizers:
+            for q in stab.data_qubits:
+                self._data_to_stabs[q].append(stab.index)
+                if stab.stype is StabilizerType.Z:
+                    self._data_to_z_stabs[q].append(stab.index)
+                else:
+                    self._data_to_x_stabs[q].append(stab.index)
+
+    # ------------------------------------------------------------------
+    # Public accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_data_qubits(self) -> int:
+        return len(self.data_qubits)
+
+    @property
+    def num_parity_qubits(self) -> int:
+        return len(self.parity_qubits)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.num_data_qubits + self.num_parity_qubits
+
+    @property
+    def num_stabilizers(self) -> int:
+        return len(self.stabilizers)
+
+    @property
+    def data_indices(self) -> Tuple[int, ...]:
+        return tuple(range(self.num_data_qubits))
+
+    @property
+    def parity_indices(self) -> Tuple[int, ...]:
+        return tuple(q.index for q in self.parity_qubits)
+
+    @property
+    def z_stabilizers(self) -> List["Stabilizer"]:
+        return [s for s in self.stabilizers if s.stype is StabilizerType.Z]
+
+    @property
+    def x_stabilizers(self) -> List["Stabilizer"]:
+        return [s for s in self.stabilizers if s.stype is StabilizerType.X]
+
+    @property
+    def logical_z_support(self) -> Tuple[int, ...]:
+        """Data qubits supporting the logical Z operator."""
+        return self._logical_z_support
+
+    @property
+    def logical_x_support(self) -> Tuple[int, ...]:
+        """Data qubits supporting the logical X operator."""
+        return self._logical_x_support
+
+    def data_qubit_index(self, row: int, col: int) -> int:
+        """Return the global index of the data qubit at ``(row, col)``."""
+        return self._data_index[(row, col)]
+
+    def data_coord(self, index: int) -> Coord:
+        """Return the ``(row, col)`` coordinate of a data qubit index."""
+        q = self.data_qubits[index]
+        return (q.row, q.col)
+
+    def stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
+        """All stabilizer indices whose support contains ``data_qubit``."""
+        return tuple(self._data_to_stabs[data_qubit])
+
+    def z_stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
+        """Z-type stabilizer indices adjacent to ``data_qubit``."""
+        return tuple(self._data_to_z_stabs[data_qubit])
+
+    def x_stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
+        """X-type stabilizer indices adjacent to ``data_qubit``."""
+        return tuple(self._data_to_x_stabs[data_qubit])
+
+    def parity_neighbors(self, data_qubit: int) -> Sequence[int]:
+        """Global indices of parity qubits adjacent to ``data_qubit``."""
+        return tuple(self.stabilizers[s].ancilla for s in self._data_to_stabs[data_qubit])
+
+    def ancilla_of(self, stabilizer_index: int) -> int:
+        """Return the global physical index of a stabilizer's ancilla."""
+        return self.stabilizers[stabilizer_index].ancilla
+
+    def stabilizer_of_ancilla(self, ancilla_index: int) -> int:
+        """Return the stabilizer index measured by a given ancilla qubit."""
+        offset = ancilla_index - self.num_data_qubits
+        if not 0 <= offset < self.num_parity_qubits:
+            raise ValueError(f"{ancilla_index} is not a parity qubit index")
+        return offset
+
+    def describe(self) -> str:
+        """Return a short human-readable summary of the code."""
+        return (
+            f"{type(self).__name__}(d={self.distance}, data={self.num_data_qubits}, "
+            f"parity={self.num_parity_qubits}, "
+            f"Z-checks={len(self.z_stabilizers)}, X-checks={len(self.x_stabilizers)})"
+        )

@@ -1,0 +1,84 @@
+"""Distance-``d`` repetition (bit-flip) code substrate.
+
+A scenario-diversity baseline beyond the paper's rotated surface code
+(Section 2.1 covers only the latter): ``d`` data qubits in a row protected by
+``d - 1`` weight-two Z stabilizers on adjacent pairs.  The repetition code
+detects only X (bit-flip) errors, which is exactly the error family a
+memory-Z experiment measures, so the whole ERASER stack — syndrome
+extraction, leakage scheduling policies, the space-time matching decoder —
+runs on it unchanged through the shared
+:class:`~repro.codes.base.StabilizerCode` interface.
+
+Conventions:
+
+* Data qubits have global indices ``0 .. d - 1`` (row 0, column ``i``).
+* Parity qubits have global indices ``d .. 2d - 2``; stabilizer ``i``
+  measures ``Z_i Z_{i+1}`` via its ancilla ``d + i`` placed at plaquette
+  ``(0, i + 1)``.
+* The CNOT schedule uses two conflict-free layers (left operand first, right
+  operand second) padded to the four-layer schedule slots shared with the
+  surface code; the unused layers are empty.
+* The logical Z operator is ``Z`` on data qubit 0; the logical X operator is
+  ``X`` on every data qubit.  A memory-Z experiment therefore fails when an
+  undetected X chain spans the whole row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.codes.base import StabilizerCode
+from repro.codes.layout import Coord, DataQubit, ParityQubit, StabilizerType
+from repro.codes.rotated_surface import Stabilizer
+
+
+@dataclass
+class RepetitionCode(StabilizerCode):
+    """A distance-``d`` repetition code protecting against bit flips.
+
+    Exposes the same layout/stabilizer/logical interface as
+    :class:`~repro.codes.rotated_surface.RotatedSurfaceCode`, so it flows
+    through circuit generation, the decoding-graph builder, every LRC policy,
+    and the memory-experiment harness without special cases.
+    """
+
+    family = "repetition"
+
+    distance: int
+    data_qubits: List[DataQubit] = field(init=False)
+    parity_qubits: List[ParityQubit] = field(init=False)
+    stabilizers: List[Stabilizer] = field(init=False)
+
+    def __post_init__(self) -> None:
+        d = self.distance
+        if d < 3:
+            raise ValueError("distance must be an integer >= 3")
+        self.data_qubits = []
+        self._data_index: Dict[Coord, int] = {}
+        for col in range(d):
+            self.data_qubits.append(DataQubit(index=col, row=0, col=col))
+            self._data_index[(0, col)] = col
+        self.stabilizers = []
+        self.parity_qubits = []
+        for i in range(d - 1):
+            ancilla = d + i
+            self.stabilizers.append(
+                Stabilizer(
+                    index=i,
+                    stype=StabilizerType.Z,
+                    ancilla=ancilla,
+                    plaquette=(0, i + 1),
+                    data_qubits=(i, i + 1),
+                    # Layers 0 and 1 touch each data qubit at most once across
+                    # all stabilizers; layers 2 and 3 (surface-code slots) are
+                    # unused.
+                    schedule=(i, i + 1, None, None),
+                )
+            )
+            self.parity_qubits.append(
+                ParityQubit(index=ancilla, stabilizer_index=i, row=0, col=i + 1)
+            )
+        self.finalize()
+        self._logical_z_support = (0,)
+        self._logical_x_support = tuple(range(d))

@@ -23,8 +23,9 @@ Conventions used throughout the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.codes.base import StabilizerCode
 from repro.codes.layout import (
     Coord,
     DataQubit,
@@ -70,13 +71,15 @@ class Stabilizer:
 
 
 @dataclass
-class RotatedSurfaceCode:
+class RotatedSurfaceCode(StabilizerCode):
     """A distance-``d`` rotated surface code.
 
     The constructor performs the full lattice construction; all attributes are
     plain Python containers so the object is cheap to share between the
     simulator, the decoder, and the ERASER controller.
     """
+
+    family = "rotated-surface"
 
     distance: int
     data_qubits: List[DataQubit] = field(init=False)
@@ -89,7 +92,7 @@ class RotatedSurfaceCode:
             raise ValueError("distance must be an odd integer >= 3")
         self._build_data_qubits()
         self._build_stabilizers()
-        self._build_adjacency()
+        self.finalize()
         self._build_logicals()
 
     # ------------------------------------------------------------------
@@ -165,19 +168,6 @@ class RotatedSurfaceCode:
                 f"constructed {stab_index} stabilizers, expected {d * d - 1}"
             )
 
-    def _build_adjacency(self) -> None:
-        n_data = self.num_data_qubits
-        self._data_to_stabs: List[List[int]] = [[] for _ in range(n_data)]
-        self._data_to_z_stabs: List[List[int]] = [[] for _ in range(n_data)]
-        self._data_to_x_stabs: List[List[int]] = [[] for _ in range(n_data)]
-        for stab in self.stabilizers:
-            for q in stab.data_qubits:
-                self._data_to_stabs[q].append(stab.index)
-                if stab.stype is StabilizerType.Z:
-                    self._data_to_z_stabs[q].append(stab.index)
-                else:
-                    self._data_to_x_stabs[q].append(stab.index)
-
     def _build_logicals(self) -> None:
         d = self.distance
         # Logical Z: Pauli-Z on the top row of data qubits (row 0).
@@ -185,91 +175,5 @@ class RotatedSurfaceCode:
         # Logical X: Pauli-X on the left column of data qubits (col 0).
         self._logical_x_support = tuple(self._data_index[(row, 0)] for row in range(d))
 
-    # ------------------------------------------------------------------
-    # Public accessors
-    # ------------------------------------------------------------------
-    @property
-    def num_data_qubits(self) -> int:
-        return self.distance * self.distance
-
-    @property
-    def num_parity_qubits(self) -> int:
-        return self.distance * self.distance - 1
-
-    @property
-    def num_qubits(self) -> int:
-        return self.num_data_qubits + self.num_parity_qubits
-
-    @property
-    def num_stabilizers(self) -> int:
-        return len(self.stabilizers)
-
-    @property
-    def data_indices(self) -> Tuple[int, ...]:
-        return tuple(range(self.num_data_qubits))
-
-    @property
-    def parity_indices(self) -> Tuple[int, ...]:
-        return tuple(q.index for q in self.parity_qubits)
-
-    @property
-    def z_stabilizers(self) -> List[Stabilizer]:
-        return [s for s in self.stabilizers if s.stype is StabilizerType.Z]
-
-    @property
-    def x_stabilizers(self) -> List[Stabilizer]:
-        return [s for s in self.stabilizers if s.stype is StabilizerType.X]
-
-    @property
-    def logical_z_support(self) -> Tuple[int, ...]:
-        """Data qubits supporting the logical Z operator (top row)."""
-        return self._logical_z_support
-
-    @property
-    def logical_x_support(self) -> Tuple[int, ...]:
-        """Data qubits supporting the logical X operator (left column)."""
-        return self._logical_x_support
-
-    def data_qubit_index(self, row: int, col: int) -> int:
-        """Return the global index of the data qubit at ``(row, col)``."""
-        return self._data_index[(row, col)]
-
-    def data_coord(self, index: int) -> Coord:
-        """Return the ``(row, col)`` coordinate of a data qubit index."""
-        q = self.data_qubits[index]
-        return (q.row, q.col)
-
-    def stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
-        """All stabilizer indices whose support contains ``data_qubit``."""
-        return tuple(self._data_to_stabs[data_qubit])
-
-    def z_stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
-        """Z-type stabilizer indices adjacent to ``data_qubit``."""
-        return tuple(self._data_to_z_stabs[data_qubit])
-
-    def x_stabilizer_neighbors(self, data_qubit: int) -> Sequence[int]:
-        """X-type stabilizer indices adjacent to ``data_qubit``."""
-        return tuple(self._data_to_x_stabs[data_qubit])
-
-    def parity_neighbors(self, data_qubit: int) -> Sequence[int]:
-        """Global indices of parity qubits adjacent to ``data_qubit``."""
-        return tuple(self.stabilizers[s].ancilla for s in self._data_to_stabs[data_qubit])
-
-    def ancilla_of(self, stabilizer_index: int) -> int:
-        """Return the global physical index of a stabilizer's ancilla."""
-        return self.stabilizers[stabilizer_index].ancilla
-
-    def stabilizer_of_ancilla(self, ancilla_index: int) -> int:
-        """Return the stabilizer index measured by a given ancilla qubit."""
-        offset = ancilla_index - self.num_data_qubits
-        if not 0 <= offset < self.num_parity_qubits:
-            raise ValueError(f"{ancilla_index} is not a parity qubit index")
-        return offset
-
-    def describe(self) -> str:
-        """Return a short human-readable summary of the code."""
-        return (
-            f"RotatedSurfaceCode(d={self.distance}, data={self.num_data_qubits}, "
-            f"parity={self.num_parity_qubits}, "
-            f"Z-checks={len(self.z_stabilizers)}, X-checks={len(self.x_stabilizers)})"
-        )
+    # All public accessors (qubit counts, adjacency queries, logical supports)
+    # are inherited from :class:`~repro.codes.base.StabilizerCode`.

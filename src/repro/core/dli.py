@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 import networkx as nx
 
-from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.codes.base import StabilizerCode
 
 
 @dataclass
@@ -40,7 +40,7 @@ class SwapLookupTable:
             ``d*d - 1`` parity qubits).
     """
 
-    code: RotatedSurfaceCode
+    code: StabilizerCode
     num_backups: int = 1
     candidates: Dict[int, Tuple[int, ...]] = field(init=False)
     unmatched_data_qubit: int = field(init=False)

@@ -28,7 +28,7 @@ from typing import Dict, Iterable, List, Sequence, Set
 
 import numpy as np
 
-from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.codes.base import StabilizerCode
 
 
 class LeakageTrackingTable:
@@ -105,7 +105,7 @@ class LeakageSpeculationBlock:
             ablation; ``None`` keeps the paper's rule.
     """
 
-    code: RotatedSurfaceCode
+    code: StabilizerCode
     use_multilevel_readout: bool = False
     leaked_label: int = 2
     threshold_override: int = None

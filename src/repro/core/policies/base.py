@@ -11,7 +11,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.codes.base import StabilizerCode
 from repro.sim.rng import RngLike, make_rng
 
 #: Sentinel stabilizer index meaning "no LRC" in batched assignment arrays.
@@ -69,10 +69,10 @@ class LrcPolicy(abc.ABC):
     supports_batch: bool = False
 
     def __init__(self) -> None:
-        self.code: Optional[RotatedSurfaceCode] = None
+        self.code: Optional[StabilizerCode] = None
         self.rng = make_rng(None)
 
-    def bind(self, code: RotatedSurfaceCode, rng: RngLike = None) -> None:
+    def bind(self, code: StabilizerCode, rng: RngLike = None) -> None:
         """Attach the policy to a code instance (called once per experiment)."""
         self.code = code
         self.rng = make_rng(rng)

@@ -20,8 +20,8 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.codes.base import StabilizerCode
 from repro.codes.layout import StabilizerType
-from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.sim.circuit import (
     Cnot,
     Hadamard,
@@ -77,7 +77,8 @@ class QecScheduleGenerator:
     """Builds syndrome-extraction rounds, optionally with leakage removal.
 
     Args:
-        code: The rotated surface code to extract syndromes for.
+        code: The stabilizer code to extract syndromes for (any
+            :class:`~repro.codes.base.StabilizerCode` family).
         protocol: ``"swap"`` for SWAP LRCs (main text) or ``"dqlr"`` for the
             LeakageISWAP protocol of Appendix A.2.
         adaptive_multilevel: Apply the ERASER+M QSG modification (squash the
@@ -87,7 +88,7 @@ class QecScheduleGenerator:
 
     def __init__(
         self,
-        code: RotatedSurfaceCode,
+        code: StabilizerCode,
         protocol: str = PROTOCOL_SWAP,
         adaptive_multilevel: bool = False,
     ):
@@ -108,7 +109,13 @@ class QecScheduleGenerator:
     # Static structure
     # ------------------------------------------------------------------
     def _build_cnot_layers(self) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """The four conflict-free CNOT layers of standard syndrome extraction."""
+        """The conflict-free CNOT layers of standard syndrome extraction.
+
+        Up to four layers (the surface-code schedule slots); layers no
+        stabilizer uses are dropped, so weight-two code families (e.g. the
+        repetition code, which fills only the first two slots) do not emit
+        empty operations.
+        """
         layers: List[Tuple[np.ndarray, np.ndarray]] = []
         for layer in range(4):
             controls: List[int] = []
@@ -123,6 +130,8 @@ class QecScheduleGenerator:
                 else:
                     controls.append(stab.ancilla)
                     targets.append(data_qubit)
+            if not controls:
+                continue
             layers.append(
                 (np.asarray(controls, dtype=np.int64), np.asarray(targets, dtype=np.int64))
             )

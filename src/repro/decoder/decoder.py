@@ -32,7 +32,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.codes.layout import StabilizerType
-from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.codes.base import StabilizerCode
 from repro.decoder.graph import DecodingGraph
 from repro.decoder.matching import build_matcher
 
@@ -85,7 +85,7 @@ class SurfaceCodeDecoder:
             caching).  Performance-only.
     """
 
-    code: RotatedSurfaceCode
+    code: StabilizerCode
     num_rounds: int
     stabilizer_type: StabilizerType = StabilizerType.Z
     method: str = "auto"

@@ -21,7 +21,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.codes.layout import StabilizerType
-from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.codes.base import StabilizerCode
 from repro.core.qsg import KEY_FINAL_DATA, QecScheduleGenerator
 from repro.decoder.decoder import SurfaceCodeDecoder
 from repro.noise.leakage import LeakageModel
@@ -46,7 +46,7 @@ class FaultInjector:
 
     def __init__(
         self,
-        code: RotatedSurfaceCode,
+        code: StabilizerCode,
         num_rounds: int,
         stabilizer_type: StabilizerType = StabilizerType.Z,
     ):

@@ -27,7 +27,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.codes.layout import StabilizerType
-from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.codes.base import StabilizerCode
 
 
 @dataclass
@@ -46,7 +46,7 @@ class DecodingGraph:
             disables diagonal edges.
     """
 
-    code: RotatedSurfaceCode
+    code: StabilizerCode
     num_rounds: int
     stabilizer_type: StabilizerType = StabilizerType.Z
     space_weight: float = 1.0

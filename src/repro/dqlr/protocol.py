@@ -117,6 +117,8 @@ def dqlr_comparison_plan(
     chunk_shots: int = None,
     decoder_dp_threshold: int = None,
     decoder_cache_size: int = None,
+    code_family: str = None,
+    noise_profile=None,
 ) -> SweepPlan:
     """The Appendix A.2 sweep (Figures 20/21) as an executable plan."""
     configs = [
@@ -134,6 +136,8 @@ def dqlr_comparison_plan(
             batch_size=batch_size,
             decoder_dp_threshold=decoder_dp_threshold,
             decoder_cache_size=decoder_cache_size,
+            code_family=code_family,
+            noise_profile=noise_profile,
         )
         for distance in distances
         for policy_name in policies
@@ -159,6 +163,8 @@ def run_dqlr_comparison(
     executor: SweepExecutor = None,
     decoder_dp_threshold: int = None,
     decoder_cache_size: int = None,
+    code_family: str = None,
+    noise_profile=None,
 ) -> PolicySweepResult:
     """Sweep DQLR-based leakage removal across distances and policies.
 
@@ -184,6 +190,8 @@ def run_dqlr_comparison(
         chunk_shots=chunk_shots,
         decoder_dp_threshold=decoder_dp_threshold,
         decoder_cache_size=decoder_cache_size,
+        code_family=code_family,
+        noise_profile=noise_profile,
     )
     if executor is None:
         warn_unseeded_cache(seed, cache_dir, resume)

@@ -32,7 +32,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.codes import DEFAULT_CODE_FAMILY, canonical_code_family, make_code
 from repro.core.policies import make_policy
 from repro.core.policies.base import LrcPolicy
 from repro.core.qsg import PROTOCOL_SWAP
@@ -41,6 +41,7 @@ from repro.experiments.results import MemoryExperimentResult
 from repro.experiments.store import config_hash
 from repro.noise.leakage import LeakageModel, LeakageTransportModel
 from repro.noise.model import NoiseParams
+from repro.noise.profiles import NoiseProfile
 from repro.sim.rng import RngLike
 
 #: Shots per executor task unless the plan overrides it.  Small enough that a
@@ -65,6 +66,30 @@ def canonical_policy_name(name: str) -> str:
     return resolve_policy(name).name
 
 
+def canonical_noise_profile(profile) -> Optional[str]:
+    """Normalise any accepted noise-profile form for :class:`SweepJob` storage.
+
+    Accepts ``None``, a :class:`~repro.noise.profiles.NoiseProfile`, its
+    canonical JSON (as a string or as the parsed config dict), or a CLI spec
+    string (``"biased:eta=4"``).  The uniform profile normalises to ``None``
+    so the degenerate case shares the cache identity (and random stream) of
+    a profile-less job.
+    """
+    if profile is None:
+        return None
+    if isinstance(profile, dict):
+        profile = NoiseProfile.from_config(profile)
+    elif isinstance(profile, str):
+        text = profile.strip()
+        profile = (
+            NoiseProfile.from_json(text)
+            if text.startswith("{")
+            else NoiseProfile.parse(text)
+        )
+    profile.validate()
+    return None if profile.is_uniform else profile.canonical_json()
+
+
 @dataclass(frozen=True)
 class SweepJob:
     """One fully-specified Monte-Carlo configuration.
@@ -81,6 +106,11 @@ class SweepJob:
     shots: int
     rounds: int
     p: float = 1e-3
+    #: Code family the experiment runs on (see :func:`repro.codes.make_code`).
+    code_family: str = DEFAULT_CODE_FAMILY
+    #: Canonical JSON of a non-uniform :class:`~repro.noise.profiles.NoiseProfile`
+    #: (``None`` = the paper's uniform model).
+    noise_profile: Optional[str] = None
     leakage_enabled: bool = True
     transport_model: str = LeakageTransportModel.REMAIN.value
     protocol: str = PROTOCOL_SWAP
@@ -103,8 +133,18 @@ class SweepJob:
     # Identity
     # ------------------------------------------------------------------
     def config_dict(self) -> Dict[str, object]:
-        """JSON-serialisable form of every identity-relevant field."""
-        return {
+        """JSON-serialisable form of every identity-relevant field.
+
+        ``code_family`` and ``noise_profile`` join the identity only when
+        they deviate from the degenerate defaults (rotated surface code,
+        uniform noise), so every pre-existing cache entry keeps its address.
+        """
+        config: Dict[str, object] = {}
+        if self.code_family != DEFAULT_CODE_FAMILY:
+            config["code_family"] = self.code_family
+        if self.noise_profile is not None:
+            config["noise_profile"] = self.noise_profile
+        config.update({
             "distance": self.distance,
             "policy": self.policy,
             "shots": self.shots,
@@ -121,7 +161,8 @@ class SweepJob:
             "seed_entropy": self.seed_entropy,
             "spawn_key": list(self.spawn_key),
             "chunk_shots": self.chunk_shots,
-        }
+        })
+        return config
 
     def cache_key(self) -> str:
         """Content address of this job (SHA-256 of the canonical config)."""
@@ -162,6 +203,11 @@ class SweepJob:
     def build_experiment(self, rng: RngLike) -> MemoryExperiment:
         """Materialise the configuration into a ready-to-run experiment."""
         noise = NoiseParams.standard(self.p)
+        profile = (
+            NoiseProfile.from_json(self.noise_profile)
+            if self.noise_profile is not None
+            else None
+        )
         if self.leakage_enabled:
             leakage = LeakageModel.standard(
                 self.p, transport_model=LeakageTransportModel(self.transport_model)
@@ -169,9 +215,10 @@ class SweepJob:
         else:
             leakage = LeakageModel.disabled()
         return MemoryExperiment(
-            code=RotatedSurfaceCode(self.distance),
+            code=make_code(self.code_family, self.distance),
             policy=resolve_policy(self.policy, **dict(self.policy_kwargs)),
             noise=noise,
+            noise_profile=profile,
             leakage=leakage,
             rounds=self.rounds,
             protocol=self.protocol,
@@ -302,11 +349,17 @@ class SweepPlan:
                 transport = transport.value
             policy_kwargs = config.pop("policy_kwargs", None) or {}
             policy = canonical_policy_name(str(config.pop("policy")))
+            code_family = canonical_code_family(
+                str(config.pop("code_family", None) or DEFAULT_CODE_FAMILY)
+            )
+            noise_profile = canonical_noise_profile(config.pop("noise_profile", None))
             jobs.append(
                 SweepJob(
                     distance=distance,
                     policy=policy,
                     rounds=rounds,
+                    code_family=code_family,
+                    noise_profile=noise_profile,
                     transport_model=str(transport),
                     policy_kwargs=tuple(sorted(policy_kwargs.items())),
                     seed_entropy=entropy,

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.codes.base import StabilizerCode
 from repro.codes.layout import StabilizerType
 from repro.codes.rotated_surface import RotatedSurfaceCode
 from repro.core.policies.base import LrcPolicy
@@ -45,6 +46,7 @@ from repro.experiments.metrics import SpeculationCounts
 from repro.experiments.results import MemoryExperimentResult
 from repro.noise.leakage import LeakageModel
 from repro.noise.model import NoiseParams
+from repro.noise.profiles import NoiseProfile
 from repro.sim.batched_frame_simulator import BatchedLeakageFrameSimulator
 from repro.sim.circuit import MeasureReset
 from repro.sim.frame_simulator import LeakageFrameSimulator
@@ -73,9 +75,15 @@ class MemoryExperiment:
     """Runs memory-Z experiments for one (code, policy, noise) configuration.
 
     Args:
-        code: The rotated surface code (or pass ``distance`` to build one).
+        code: The code substrate — any :class:`~repro.codes.base.StabilizerCode`
+            family (or pass ``distance`` to build a rotated surface code).
         policy: LRC scheduling policy instance.
-        noise: Circuit-level noise parameters.
+        noise: Circuit-level noise parameters (the uniform base model).
+        noise_profile: Optional :class:`~repro.noise.profiles.NoiseProfile`
+            modulating ``noise`` into per-qubit/biased rates.  The uniform
+            profile (and ``None``) keeps the scalar ``NoiseParams`` fast
+            path, so seeded uniform statistics are bit-identical with or
+            without a profile.
         leakage: Leakage model parameters.
         rounds: Number of syndrome-extraction rounds per shot.  The paper uses
             ``cycles * distance`` rounds for a ``cycles``-cycle experiment.
@@ -100,9 +108,10 @@ class MemoryExperiment:
 
     def __init__(
         self,
-        code: Optional[RotatedSurfaceCode] = None,
+        code: Optional[StabilizerCode] = None,
         policy: LrcPolicy = None,
         noise: NoiseParams = None,
+        noise_profile: Optional[NoiseProfile] = None,
         leakage: LeakageModel = None,
         rounds: int = None,
         distance: Optional[int] = None,
@@ -130,7 +139,11 @@ class MemoryExperiment:
         if policy is None:
             raise ValueError("a scheduling policy is required")
         self.policy = policy
-        self.noise = noise if noise is not None else NoiseParams.standard()
+        base_noise = noise if noise is not None else NoiseParams.standard()
+        self.noise_profile = noise_profile if noise_profile is not None else NoiseProfile.uniform()
+        # The uniform profile resolves back to the scalar NoiseParams object,
+        # so the default configuration runs the pre-profile fast path.
+        self.noise = self.noise_profile.materialize(base_noise, code.num_qubits)
         self.leakage = leakage if leakage is not None else LeakageModel.standard(self.noise.p)
         self.rounds = rounds
         self.protocol = protocol
@@ -438,5 +451,7 @@ class MemoryExperiment:
                 "transport_model": self.leakage.transport_model.value,
                 "leakage_enabled": self.leakage.enabled,
                 "engine": engine,
+                "code_family": self.code.family,
+                "noise_profile": self.noise_profile.to_config(),
             },
         )

@@ -104,6 +104,34 @@ def _plan_ablations(shots, max_distance, seed, chunk_shots) -> SweepPlan:
     )
 
 
+def _plan_bias(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    from repro.experiments.sweep import ler_vs_bias_plan
+
+    return ler_vs_bias_plan(
+        distance=_distances(max_distance)[-1], shots=shots, seed=seed,
+        chunk_shots=chunk_shots,
+    )
+
+
+def _plan_heterogeneous(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    from repro.experiments.sweep import ler_heterogeneous_plan
+
+    return ler_heterogeneous_plan(
+        distance=_distances(max_distance)[-1], shots=shots, seed=seed,
+        chunk_shots=chunk_shots,
+    )
+
+
+def _plan_repetition(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    from repro.experiments.sweep import DEFAULT_POLICIES, compare_policies_plan
+
+    return compare_policies_plan(
+        distances=_distances(max_distance), policies=DEFAULT_POLICIES, p=1e-3,
+        cycles=10, shots=shots, code_family="repetition", seed=seed,
+        chunk_shots=chunk_shots,
+    )
+
+
 def _render(style: str):
     """Render hook bound to a named renderer style.
 
@@ -322,6 +350,33 @@ _SPECS = (
         "benchmarks/bench_ablation_design_choices.py",
         plan=_plan_ablations,
         render=_render("ablations"),
+    ),
+    ExperimentSpec(
+        "ler-vs-bias",
+        "LER under Z-biased depolarising noise (scenario diversity)",
+        "memory-Z, d=5, p=1e-3, 10 cycles, bias eta in {1, 2, 4, 10}",
+        ("repro.noise.profiles", "repro.experiments.sweep"),
+        "benchmarks/bench_scenario_noise_profiles.py",
+        plan=_plan_bias,
+        render=_render("ler_vs_profile"),
+    ),
+    ExperimentSpec(
+        "ler-heterogeneous",
+        "LER under log-normal per-qubit rate heterogeneity (scenario diversity)",
+        "memory-Z, d=5, p=1e-3, 10 cycles, spread in {0, 0.5, 1}",
+        ("repro.noise.profiles", "repro.experiments.sweep"),
+        "benchmarks/bench_scenario_noise_profiles.py",
+        plan=_plan_heterogeneous,
+        render=_render("ler_vs_profile"),
+    ),
+    ExperimentSpec(
+        "repetition-baseline",
+        "Repetition-code family under every policy (scenario diversity)",
+        "memory-Z repetition code, d=3..5, p=1e-3, 10 cycles",
+        ("repro.codes.repetition", "repro.experiments.sweep"),
+        "benchmarks/bench_scenario_repetition.py",
+        plan=_plan_repetition,
+        render=_render("ler_vs_distance"),
     ),
 )
 

@@ -36,6 +36,7 @@ from repro.experiments.executor import SweepExecutor, warn_unseeded_cache
 from repro.experiments.jobs import SweepJob, SweepPlan
 from repro.experiments.results import MemoryExperimentResult, PolicySweepResult
 from repro.noise.leakage import LeakageTransportModel
+from repro.noise.profiles import NoiseProfile
 from repro.sim.rng import RngLike
 
 DEFAULT_POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal")
@@ -70,6 +71,8 @@ def _config(
     batch_size: Optional[int] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    code_family: Optional[str] = None,
+    noise_profile=None,
 ) -> Dict[str, object]:
     """One grid point in the dict form consumed by :meth:`SweepPlan.build`."""
     return dict(
@@ -88,6 +91,8 @@ def _config(
         batch_size=batch_size,
         decoder_dp_threshold=decoder_dp_threshold,
         decoder_cache_size=decoder_cache_size,
+        code_family=code_family,
+        noise_profile=noise_profile,
     )
 
 
@@ -109,6 +114,8 @@ def run_single_plan(
     chunk_shots: Optional[int] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    code_family: Optional[str] = None,
+    noise_profile=None,
 ) -> SweepPlan:
     """A one-job plan for a single (distance, policy) configuration."""
     return SweepPlan.build(
@@ -129,6 +136,8 @@ def run_single_plan(
                 batch_size=batch_size,
                 decoder_dp_threshold=decoder_dp_threshold,
                 decoder_cache_size=decoder_cache_size,
+                code_family=code_family,
+                noise_profile=noise_profile,
             )
         ],
         seed=seed,
@@ -158,6 +167,8 @@ def run_single(
     executor: Optional[SweepExecutor] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    code_family: Optional[str] = None,
+    noise_profile=None,
 ) -> MemoryExperimentResult:
     """Run one (distance, policy) configuration and return its result."""
     plan = run_single_plan(
@@ -178,6 +189,8 @@ def run_single(
         chunk_shots=chunk_shots,
         decoder_dp_threshold=decoder_dp_threshold,
         decoder_cache_size=decoder_cache_size,
+        code_family=code_family,
+        noise_profile=noise_profile,
     )
     return _executor(jobs, cache_dir, resume, executor, seed).run(plan)[0]
 
@@ -199,6 +212,8 @@ def compare_policies_plan(
     chunk_shots: Optional[int] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    code_family: Optional[str] = None,
+    noise_profile=None,
 ) -> SweepPlan:
     """The (distance x policy) grid behind Figures 14-17 and 20 as a plan."""
     configs = [
@@ -217,6 +232,8 @@ def compare_policies_plan(
             batch_size=batch_size,
             decoder_dp_threshold=decoder_dp_threshold,
             decoder_cache_size=decoder_cache_size,
+            code_family=code_family,
+            noise_profile=noise_profile,
         )
         for distance in distances
         for policy_name in policies
@@ -245,6 +262,8 @@ def compare_policies(
     executor: Optional[SweepExecutor] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    code_family: Optional[str] = None,
+    noise_profile=None,
 ) -> PolicySweepResult:
     """Sweep policies across code distances (the shape behind Figures 14-17, 20)."""
     plan = compare_policies_plan(
@@ -264,6 +283,8 @@ def compare_policies(
         chunk_shots=chunk_shots,
         decoder_dp_threshold=decoder_dp_threshold,
         decoder_cache_size=decoder_cache_size,
+        code_family=code_family,
+        noise_profile=noise_profile,
     )
     results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
     return PolicySweepResult(list(results))
@@ -291,6 +312,8 @@ def lpr_time_series_plan(
     engine: str = "auto",
     batch_size: Optional[int] = None,
     chunk_shots: Optional[int] = None,
+    code_family: Optional[str] = None,
+    noise_profile=None,
 ) -> SweepPlan:
     """The per-policy LPR trace sweep as a plan (decoding disabled)."""
     configs = [
@@ -305,6 +328,8 @@ def lpr_time_series_plan(
             decode=False,
             engine=engine,
             batch_size=batch_size,
+            code_family=code_family,
+            noise_profile=noise_profile,
         )
         for policy_name in policies
     ]
@@ -327,6 +352,8 @@ def lpr_time_series(
     resume: bool = False,
     chunk_shots: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
+    code_family: Optional[str] = None,
+    noise_profile=None,
 ) -> Dict[str, np.ndarray]:
     """Per-round leakage population ratio per policy (Figures 5, 15, 18, 21).
 
@@ -345,6 +372,8 @@ def lpr_time_series(
         engine=engine,
         batch_size=batch_size,
         chunk_shots=chunk_shots,
+        code_family=code_family,
+        noise_profile=noise_profile,
     )
     results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
     return {result.policy: result.lpr_total for result in results}
@@ -456,3 +485,76 @@ def ler_vs_cycles(
         cycles = result.rounds // result.distance
         table.setdefault(result.policy, {})[cycles] = result.logical_error_rate
     return table
+
+
+#: Scenario-diversity axes beyond the paper's uniform Section 5.2.1 model.
+#: Shared by the registry entries, the report renderers and the scenario
+#: benchmark so the three can never drift.
+BIAS_ETAS = (1.0, 2.0, 4.0, 10.0)
+HETEROGENEOUS_SPREADS = (0.0, 0.5, 1.0)
+#: Fixed profile seed of the registry's heterogeneous sweep (the profile draw
+#: is seeded separately from the Monte-Carlo stream, so this pins *which*
+#: per-qubit rate landscape every run of the entry sees).
+HETEROGENEOUS_PROFILE_SEED = 7
+
+
+def ler_vs_bias_plan(
+    distance: int,
+    policies: Sequence[str] = ("always-lrc", "eraser"),
+    etas: Sequence[float] = BIAS_ETAS,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 100,
+    seed: RngLike = None,
+    chunk_shots: Optional[int] = None,
+) -> SweepPlan:
+    """LER under Z-biased depolarising noise, one job per (policy, eta).
+
+    ``eta = 1`` is the paper's uniform Pauli mix, so the sweep's first column
+    doubles as a consistency anchor against the Figure 14 numbers.
+    """
+    configs = [
+        _config(
+            distance,
+            policy_name,
+            p,
+            shots,
+            cycles=cycles,
+            noise_profile=NoiseProfile.biased(eta),
+        )
+        for eta in etas
+        for policy_name in policies
+    ]
+    return SweepPlan.build(configs, seed=seed, chunk_shots=chunk_shots)
+
+
+def ler_heterogeneous_plan(
+    distance: int,
+    policies: Sequence[str] = ("always-lrc", "eraser"),
+    spreads: Sequence[float] = HETEROGENEOUS_SPREADS,
+    profile_seed: int = HETEROGENEOUS_PROFILE_SEED,
+    p: float = 1e-3,
+    cycles: int = 10,
+    shots: int = 100,
+    seed: RngLike = None,
+    chunk_shots: Optional[int] = None,
+) -> SweepPlan:
+    """LER under log-normal per-qubit rate heterogeneity, per (policy, spread).
+
+    ``spread = 0`` degenerates to uniform per-qubit arrays, whose statistics
+    are bit-identical to the scalar fast path (the differential suite pins
+    this), anchoring the sweep to the paper's operating point.
+    """
+    configs = [
+        _config(
+            distance,
+            policy_name,
+            p,
+            shots,
+            cycles=cycles,
+            noise_profile=NoiseProfile.heterogeneous(profile_seed, spread),
+        )
+        for spread in spreads
+        for policy_name in policies
+    ]
+    return SweepPlan.build(configs, seed=seed, chunk_shots=chunk_shots)

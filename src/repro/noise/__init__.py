@@ -1,9 +1,18 @@
 """Noise and leakage models used by the ERASER reproduction (Table 1,
 Section 3): circuit-level depolarising noise plus the leakage injection,
-transport and seepage channels.
+transport and seepage channels, and the noise-profile layer that generalises
+the Section 5.2.1 uniform model to biased and per-qubit-heterogeneous rates.
 """
 
 from repro.noise.model import NoiseParams
 from repro.noise.leakage import LeakageModel, LeakageTransportModel
+from repro.noise.profiles import PROFILE_KINDS, NoiseProfile, QubitNoise
 
-__all__ = ["NoiseParams", "LeakageModel", "LeakageTransportModel"]
+__all__ = [
+    "NoiseParams",
+    "LeakageModel",
+    "LeakageTransportModel",
+    "NoiseProfile",
+    "PROFILE_KINDS",
+    "QubitNoise",
+]

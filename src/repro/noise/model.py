@@ -17,7 +17,7 @@ constructs the paper's default configuration from ``p`` alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -71,7 +71,14 @@ class NoiseParams:
         return replace(self, **kwargs)
 
     def validate(self) -> None:
-        """Raise :class:`ValueError` if any field is not a probability."""
-        for name, value in self.__dict__.items():
+        """Raise :class:`ValueError` if any field is not a probability.
+
+        Enumerates :func:`dataclasses.fields` rather than ``self.__dict__``:
+        the instance dictionary is empty under ``__slots__`` layouts and may
+        carry stray non-field attributes under subclassing, so it is not a
+        faithful list of the declared error mechanisms.
+        """
+        for spec in fields(self):
+            value = getattr(self, spec.name)
             if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{name}={value} is not a valid probability")
+                raise ValueError(f"{spec.name}={value} is not a valid probability")

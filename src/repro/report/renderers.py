@@ -18,7 +18,7 @@ comparison rows where the paper states a number.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.analytic import (
     expected_lrcs_per_round_always,
@@ -250,6 +250,71 @@ def render_lpr_time_series(spec, ctx: RenderContext) -> ExperimentArtifact:
             "Monte-Carlo trend",
         ))
     return _artifact(spec, tables=[table], figures=[figure], comparisons=comparisons)
+
+
+def _profile_axis(result: MemoryExperimentResult) -> Tuple[str, float]:
+    """(axis label, x value) of a result's noise profile for scenario sweeps."""
+    config = result.metadata.get("noise_profile") or {"kind": "uniform"}
+    kind = config.get("kind", "uniform")
+    if kind == "biased":
+        return "bias eta", float(config["eta"])
+    if kind == "heterogeneous":
+        return "spread", float(config["spread"])
+    if kind == "hot_spot":
+        return "hot-spot factor", float(config["factor"])
+    return "bias eta", 1.0  # the uniform anchor point of a bias sweep
+
+
+def render_ler_vs_profile(spec, ctx: RenderContext) -> ExperimentArtifact:
+    """Scenario sweeps: LER per policy across a noise-profile axis.
+
+    Serves both the ``ler-vs-bias`` entry (x = bias ratio eta) and the
+    ``ler-heterogeneous`` entry (x = log-normal spread); the axis is read off
+    each result's ``noise_profile`` metadata, so the renderer needs no
+    per-entry configuration.
+    """
+    results = ctx.run_spec(spec)
+    axis_label = _profile_axis(results[0])[0]
+    series: Dict[str, Dict[float, float]] = {}
+    for result in results:
+        x = _profile_axis(result)[1]
+        series.setdefault(result.policy, {})[x] = result.logical_error_rate
+    xs = sorted({x for values in series.values() for x in values})
+    wide = TableResult(
+        experiment_id=spec.experiment_id,
+        title=f"{spec.experiment_id}: logical error rate vs {axis_label}",
+        headers=[axis_label] + list(series),
+        rows=[[x] + [series[p].get(x, float("nan")) for p in series] for x in xs],
+    )
+    figure = _figure(
+        ctx, spec, spec.experiment_id,
+        f"Logical error rate vs {axis_label}, one line per policy.",
+        lambda path: save_line_figure(
+            path,
+            series={p: [series[p][x] for x in sorted(series[p])] for p in series},
+            x_values={p: sorted(series[p]) for p in series},
+            title=f"{spec.experiment_id}: LER vs {axis_label}",
+            xlabel=axis_label,
+            ylabel="logical error rate",
+        ),
+    )
+    comparisons: List[ComparisonRow] = []
+    if len(xs) >= 2:
+        for policy, values in series.items():
+            lo, hi = min(values), max(values)
+            comparisons.append(ComparisonRow(
+                spec.experiment_id,
+                f"{policy}: LER at {axis_label}={hi:g} vs {lo:g}",
+                "off-nominal noise shifts the operating point",
+                f"{values[hi]!r} vs {values[lo]!r}",
+                "Monte-Carlo trend",
+            ))
+    return _artifact(
+        spec,
+        tables=[wide, _sweep_detail_table(spec, results)],
+        figures=[figure],
+        comparisons=comparisons,
+    )
 
 
 def render_speculation(spec, ctx: RenderContext) -> ExperimentArtifact:
@@ -525,6 +590,7 @@ def render_density_study(spec, ctx: RenderContext) -> ExperimentArtifact:
 RENDERERS: Dict[str, Callable[..., ExperimentArtifact]] = {
     "ler_vs_distance": render_ler_vs_distance,
     "ler_vs_cycles": render_ler_vs_cycles,
+    "ler_vs_profile": render_ler_vs_profile,
     "lpr_time_series": render_lpr_time_series,
     "speculation": render_speculation,
     "lrc_counts": render_lrc_counts,

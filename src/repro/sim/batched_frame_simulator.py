@@ -43,12 +43,13 @@ share one implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.noise.leakage import LeakageModel, LeakageTransportModel
 from repro.noise.model import NoiseParams
+from repro.noise.profiles import QubitNoise, channel_active, draw_pauli_codes
 from repro.sim.circuit import (
     Cnot,
     Hadamard,
@@ -102,7 +103,10 @@ class BatchedLeakageFrameSimulator:
 
     Args:
         num_qubits: Total number of physical qubits per shot.
-        noise: Circuit-level noise parameters (shared by all shots).
+        noise: Circuit-level noise parameters shared by all shots — a scalar
+            :class:`~repro.noise.model.NoiseParams` (the uniform fast path)
+            or a per-qubit :class:`~repro.noise.profiles.QubitNoise`; the
+            per-qubit rates broadcast along the shot axis.
         leakage: Leakage model parameters (shared by all shots).
         shots: Number of Monte-Carlo shots carried by the frame arrays.
         rng: Seed or numpy generator; a single stream serves the whole batch.
@@ -111,7 +115,7 @@ class BatchedLeakageFrameSimulator:
     def __init__(
         self,
         num_qubits: int,
-        noise: NoiseParams,
+        noise: Union[NoiseParams, QubitNoise],
         leakage: LeakageModel,
         shots: int,
         rng: RngLike = None,
@@ -121,6 +125,11 @@ class BatchedLeakageFrameSimulator:
         if shots <= 0:
             raise ValueError("shots must be positive")
         noise.validate()
+        if isinstance(noise, QubitNoise) and noise.num_qubits != num_qubits:
+            raise ValueError(
+                f"per-qubit noise covers {noise.num_qubits} qubits, "
+                f"but the simulator has {num_qubits}"
+            )
         leakage.validate()
         self.num_qubits = num_qubits
         self.shots = shots
@@ -288,32 +297,76 @@ class BatchedLeakageFrameSimulator:
     # ------------------------------------------------------------------
     # Noise primitives (shape-agnostic: act through any index expression)
     # ------------------------------------------------------------------
-    def _bernoulli(self, p: float, shape) -> np.ndarray:
+    def _bernoulli(self, p, shape) -> np.ndarray:
+        """Bernoulli draws of ``shape`` with scalar or per-cell ``p``.
+
+        A per-cell ``p`` (from a gathered per-qubit channel array) must
+        broadcast against ``shape``; the scalar branch is the pre-profile
+        code path, byte-for-byte, so uniform configurations keep their
+        seeded random stream.
+        """
+        if isinstance(p, np.ndarray):
+            if not p.any():
+                return np.zeros(shape, dtype=bool)
+            return self.rng.random(shape) < p
         if p <= 0.0:
             return np.zeros(shape, dtype=bool)
         return self.rng.random(shape) < p
+
+    _channel_active = staticmethod(channel_active)
+
+    @staticmethod
+    def _gather(p, ix):
+        """Per-cell rates for an index expression (scalar rates pass through).
+
+        Both index forms carry the qubit component in ``ix[1]`` — a 1-D qubit
+        array for broadcast ``(rows, qubits)`` meshes and for per-shot
+        instance sets alike — so ``p[ix[1]]`` broadcasts against the cell
+        block either way.
+        """
+        if isinstance(p, np.ndarray):
+            return p[ix[1]]
+        return p
+
+    def _pauli1_codes(self, shape) -> np.ndarray:
+        """Draw single-qubit error codes 1..3, biased when the profile says so."""
+        return draw_pauli_codes(
+            self.rng, getattr(self.noise, "pauli1_cdf", None), shape, 3
+        )
+
+    def _pauli2_codes(self, shape) -> np.ndarray:
+        """Draw two-qubit error codes 1..15, biased when the profile says so."""
+        return draw_pauli_codes(
+            self.rng, getattr(self.noise, "pauli2_cdf", None), shape, 15
+        )
 
     def _pauli_flips(self, codes: np.ndarray):
         """X/Z flip masks for Pauli codes 0=I, 1=X, 2=Y, 3=Z."""
         return (codes == 1) | (codes == 2), (codes == 3) | (codes == 2)
 
-    def _depolarize1_masked(self, ix, mask: np.ndarray, p: float) -> None:
+    def _depolarize1_masked(self, ix, mask: np.ndarray, p) -> None:
         """Single-qubit depolarising noise on the cells where ``mask`` is set."""
-        if p <= 0.0 or not mask.any():
+        if not self._channel_active(p) or not mask.any():
             return
-        hit = self._bernoulli(p, mask.shape) & mask
-        codes = self.rng.integers(1, 4, size=mask.shape)
+        hit = self._bernoulli(self._gather(p, ix), mask.shape) & mask
+        codes = self._pauli1_codes(mask.shape)
         xf, zf = self._pauli_flips(codes)
         self.x[ix] ^= hit & xf
         self.z[ix] ^= hit & zf
 
-    def _depolarize2_masked(self, ix_c, ix_t, mask: np.ndarray, p: float) -> None:
+    def _depolarize2_masked(self, ix_c, ix_t, mask: np.ndarray, p) -> None:
         """Correlated two-qubit depolarising noise on masked (control, target) pairs."""
-        if p <= 0.0 or not mask.any():
+        if not self._channel_active(p) or not mask.any():
             return
-        hit = self._bernoulli(p, mask.shape) & mask
-        # Uniform over the 15 non-identity two-qubit Paulis.
-        codes = self.rng.integers(1, 16, size=mask.shape)
+        if isinstance(p, np.ndarray):
+            # Per-qubit gate rates: a pair errs at the mean of its operands'
+            # rates (the uniform model is the degenerate equal-rate case).
+            pair_p = 0.5 * (self._gather(p, ix_c) + self._gather(p, ix_t))
+        else:
+            pair_p = p
+        hit = self._bernoulli(pair_p, mask.shape) & mask
+        # Uniform (or profile-biased) over the 15 non-identity two-qubit Paulis.
+        codes = self._pauli2_codes(mask.shape)
         cxf, czf = self._pauli_flips(codes // 4)
         txf, tzf = self._pauli_flips(codes % 4)
         self.x[ix_c] ^= hit & cxf
@@ -441,7 +494,7 @@ class BatchedLeakageFrameSimulator:
         # the scalar engine): the classical p_measure flip is applied first and
         # is then *overwritten* — not re-applied — by the uniformly random
         # outcome that a two-level discriminator reports for a leaked qubit.
-        bits ^= self._bernoulli(self.noise.p_measure, shape)
+        bits ^= self._bernoulli(self._gather(self.noise.p_measure, ix), shape)
         if true_leaked.any():
             random_bits = self.rng.random(shape) < 0.5
             bits = np.where(true_leaked, random_bits, bits)
@@ -450,8 +503,8 @@ class BatchedLeakageFrameSimulator:
         # Multi-level discriminator classification error (rate 10p): report one
         # of the two incorrect labels uniformly at random.
         p_ml = self.noise.p_multilevel_readout_error
-        if p_ml > 0.0:
-            wrong = self._bernoulli(p_ml, shape)
+        if self._channel_active(p_ml):
+            wrong = self._bernoulli(self._gather(p_ml, ix), shape)
             if wrong.any():
                 shift = self.rng.integers(1, 3, size=shape).astype(np.int8)
                 labels = np.where(wrong, (labels + shift) % 3, labels)
@@ -477,7 +530,7 @@ class BatchedLeakageFrameSimulator:
     def _reset_ix(self, ix, active: Optional[np.ndarray] = None) -> None:
         shape = self.leaked[ix].shape
         # Initialisation error: qubit prepared in |1> instead of |0>.
-        flips = self._bernoulli(self.noise.p_reset, shape)
+        flips = self._bernoulli(self._gather(self.noise.p_reset, ix), shape)
         if active is None:
             self.x[ix] = flips
             self.z[ix] = False

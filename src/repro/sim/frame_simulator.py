@@ -17,12 +17,13 @@ every measurement so ERASER+M can be simulated without re-running circuits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.noise.leakage import LeakageModel, LeakageTransportModel
 from repro.noise.model import NoiseParams
+from repro.noise.profiles import QubitNoise, channel_active, draw_pauli_codes
 from repro.sim.circuit import (
     Cnot,
     Hadamard,
@@ -68,7 +69,11 @@ class LeakageFrameSimulator:
 
     Args:
         num_qubits: Total number of physical qubits.
-        noise: Circuit-level noise parameters.
+        noise: Circuit-level noise parameters — a scalar
+            :class:`~repro.noise.model.NoiseParams` (the paper's uniform
+            model and the fast path) or a per-qubit
+            :class:`~repro.noise.profiles.QubitNoise` resolved from a
+            :class:`~repro.noise.profiles.NoiseProfile`.
         leakage: Leakage model parameters.
         rng: Seed or numpy generator.
     """
@@ -76,13 +81,18 @@ class LeakageFrameSimulator:
     def __init__(
         self,
         num_qubits: int,
-        noise: NoiseParams,
+        noise: Union[NoiseParams, QubitNoise],
         leakage: LeakageModel,
         rng: RngLike = None,
     ):
         if num_qubits <= 0:
             raise ValueError("num_qubits must be positive")
         noise.validate()
+        if isinstance(noise, QubitNoise) and noise.num_qubits != num_qubits:
+            raise ValueError(
+                f"per-qubit noise covers {noise.num_qubits} qubits, "
+                f"but the simulator has {num_qubits}"
+            )
         leakage.validate()
         self.num_qubits = num_qubits
         self.noise = noise
@@ -141,6 +151,24 @@ class LeakageFrameSimulator:
             return np.zeros(size, dtype=bool)
         return self.rng.random(size) < p
 
+    def _bernoulli_for(self, qubits: np.ndarray, p) -> np.ndarray:
+        """Bernoulli draws over ``qubits`` with scalar or per-qubit ``p``.
+
+        The scalar branch is the pre-profile code path, byte-for-byte: the
+        per-qubit branch draws the same number of variates for the same
+        qubits, so a uniform array reproduces the scalar stream exactly.
+        """
+        if not isinstance(p, np.ndarray):
+            return self._bernoulli(p, qubits.size)
+        if qubits.size == 0:
+            return np.zeros(0, dtype=bool)
+        local = p[qubits]
+        if not local.any():
+            return np.zeros(qubits.size, dtype=bool)
+        return self.rng.random(qubits.size) < local
+
+    _channel_active = staticmethod(channel_active)
+
     def _apply_pauli_codes(self, qubits: np.ndarray, codes: np.ndarray) -> None:
         """Apply Pauli errors encoded as 0=I, 1=X, 2=Y, 3=Z."""
         if qubits.size == 0:
@@ -148,26 +176,44 @@ class LeakageFrameSimulator:
         self.x[qubits] ^= (codes == 1) | (codes == 2)
         self.z[qubits] ^= (codes == 3) | (codes == 2)
 
-    def _depolarize1(self, qubits: np.ndarray, p: float) -> None:
-        if qubits.size == 0 or p <= 0.0:
+    def _pauli1_codes(self, size: int) -> np.ndarray:
+        """Draw single-qubit error codes 1..3, biased when the profile says so."""
+        return draw_pauli_codes(
+            self.rng, getattr(self.noise, "pauli1_cdf", None), size, 3
+        )
+
+    def _pauli2_codes(self, size: int) -> np.ndarray:
+        """Draw two-qubit error codes 1..15, biased when the profile says so."""
+        return draw_pauli_codes(
+            self.rng, getattr(self.noise, "pauli2_cdf", None), size, 15
+        )
+
+    def _depolarize1(self, qubits: np.ndarray, p) -> None:
+        if qubits.size == 0 or not self._channel_active(p):
             return
-        hit = self._bernoulli(p, qubits.size)
+        hit = self._bernoulli_for(qubits, p)
         victims = qubits[hit]
         if victims.size == 0:
             return
-        codes = self.rng.integers(1, 4, size=victims.size)
+        codes = self._pauli1_codes(victims.size)
         self._apply_pauli_codes(victims, codes)
 
-    def _depolarize2(self, controls: np.ndarray, targets: np.ndarray, p: float) -> None:
-        if controls.size == 0 or p <= 0.0:
+    def _depolarize2(self, controls: np.ndarray, targets: np.ndarray, p) -> None:
+        if controls.size == 0 or not self._channel_active(p):
             return
-        hit = self._bernoulli(p, controls.size)
+        if isinstance(p, np.ndarray):
+            # Per-qubit gate rates: a pair errs at the mean of its operands'
+            # rates (the uniform model is the degenerate equal-rate case).
+            pair_p = 0.5 * (p[controls] + p[targets])
+            hit = self.rng.random(controls.size) < pair_p
+        else:
+            hit = self._bernoulli(p, controls.size)
         if not hit.any():
             return
         c = controls[hit]
         t = targets[hit]
-        # Uniform over the 15 non-identity two-qubit Paulis.
-        codes = self.rng.integers(1, 16, size=c.size)
+        # Uniform (or profile-biased) over the 15 non-identity two-qubit Paulis.
+        codes = self._pauli2_codes(c.size)
         self._apply_pauli_codes(c, codes // 4)
         self._apply_pauli_codes(t, codes % 4)
 
@@ -271,7 +317,7 @@ class LeakageFrameSimulator:
         true_leaked = self.leaked[qubits].copy()
         bits = self.x[qubits].copy()
         # Classical measurement error.
-        bits ^= self._bernoulli(self.noise.p_measure, qubits.size)
+        bits ^= self._bernoulli_for(qubits, self.noise.p_measure)
         # A two-level discriminator classifies a leaked qubit randomly; this
         # overwrites (never XORs with) the classical-error bit from above.
         if true_leaked.any():
@@ -282,8 +328,8 @@ class LeakageFrameSimulator:
         # Multi-level discriminator classification error (rate 10p): report one
         # of the two incorrect labels uniformly at random.
         p_ml = self.noise.p_multilevel_readout_error
-        if p_ml > 0.0:
-            wrong = self._bernoulli(p_ml, qubits.size)
+        if self._channel_active(p_ml):
+            wrong = self._bernoulli_for(qubits, p_ml)
             if wrong.any():
                 shift = self.rng.integers(1, 3, size=int(wrong.sum())).astype(np.int8)
                 labels[wrong] = (labels[wrong] + shift) % 3
@@ -302,7 +348,7 @@ class LeakageFrameSimulator:
         self.z[qubits] = False
         self.leaked[qubits] = False
         # Initialisation error: qubit prepared in |1> instead of |0>.
-        flips = self._bernoulli(self.noise.p_reset, qubits.size)
+        flips = self._bernoulli_for(qubits, self.noise.p_reset)
         self.x[qubits[flips]] = True
 
     def _lrc_finalize(self, op: LrcFinalize) -> MeasurementRecord:

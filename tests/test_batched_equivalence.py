@@ -22,12 +22,14 @@ import math
 import numpy as np
 import pytest
 
+from repro.codes import make_code
 from repro.core.policies import make_policy
 from repro.core.qsg import PROTOCOL_DQLR, PROTOCOL_SWAP
 from repro.dqlr.protocol import DqlrBaselinePolicy
 from repro.experiments.memory import MemoryExperiment
 from repro.noise.leakage import LeakageModel, LeakageTransportModel
 from repro.noise.model import NoiseParams
+from repro.noise.profiles import NoiseProfile
 from repro.sim.batched_frame_simulator import BatchedLeakageFrameSimulator
 from repro.sim.circuit import Cnot, Hadamard, Measure, MeasureReset
 from repro.sim.frame_simulator import LeakageFrameSimulator
@@ -194,6 +196,93 @@ class TestDeepTier:
             shots=3000, seed=20230903, z_bound=4.0, lpr_rel=0.25, lrc_rel=0.2,
             decode=True,
         )
+
+
+#: Scenario-diversity grid: every non-uniform noise profile and the
+#: repetition-code family, each exercised under an adaptive and a static
+#: policy.  Entries are (name, policy, code family, profile).
+SCENARIO_COMBOS = [
+    ("biased/eraser", "eraser", "rotated-surface", NoiseProfile.biased(6.0)),
+    ("biased/always", "always-lrc", "rotated-surface", NoiseProfile.biased(6.0)),
+    ("heterogeneous/eraser", "eraser", "rotated-surface", NoiseProfile.heterogeneous(5, 0.8)),
+    ("hot-spot/eraser", "eraser", "rotated-surface", NoiseProfile.hot_spot([0, 4], 10.0)),
+    ("repetition/eraser", "eraser", "repetition", None),
+    ("repetition/always", "always-lrc", "repetition", None),
+    ("repetition/biased", "eraser", "repetition", NoiseProfile.biased(6.0)),
+]
+
+
+class TestScenarioDiversityTier:
+    """Cheap-tier differential checks for profiles and the repetition family."""
+
+    @staticmethod
+    def _run(engine, policy, code_family, profile, shots, seed, decode):
+        experiment = MemoryExperiment(
+            code=make_code(code_family, DISTANCE),
+            policy=make_policy(policy),
+            noise=NoiseParams.standard(P),
+            noise_profile=profile,
+            leakage=boosted_leakage(LeakageTransportModel.REMAIN),
+            cycles=CYCLES,
+            decode=decode,
+            seed=seed,
+            engine=engine,
+        )
+        return experiment.run(shots)
+
+    @pytest.mark.parametrize(
+        "name,policy,code_family,profile",
+        SCENARIO_COMBOS,
+        ids=[c[0] for c in SCENARIO_COMBOS],
+    )
+    def test_lpr_and_lrc_statistics_match(self, name, policy, code_family, profile):
+        scalar = self._run("scalar", policy, code_family, profile, 300, 20240902, False)
+        batched = self._run("batched", policy, code_family, profile, 300, 20240902, False)
+        assert scalar.metadata["engine"] == "scalar"
+        assert batched.metadata["engine"] == "batched"
+        assert_lpr_close(scalar, batched, rel=0.5)
+        if policy == "always-lrc":
+            assert scalar.lrcs_per_round == batched.lrcs_per_round
+        else:
+            a, b = scalar.lrcs_per_round, batched.lrcs_per_round
+            assert abs(a - b) <= 0.35 * max(a, b) + 0.05
+
+    @pytest.mark.parametrize(
+        "name,policy,code_family,profile",
+        [c for c in SCENARIO_COMBOS if c[1] == "eraser"],
+        ids=[c[0] for c in SCENARIO_COMBOS if c[1] == "eraser"],
+    )
+    def test_ler_matches(self, name, policy, code_family, profile):
+        scalar = self._run("scalar", policy, code_family, profile, 400, 20240903, True)
+        batched = self._run("batched", policy, code_family, profile, 400, 20240903, True)
+        z = two_proportion_z(scalar.logical_errors, batched.logical_errors, 400)
+        assert abs(z) < 4.5, (
+            f"{name}: LER diverged, scalar={scalar.logical_error_rate:.4f} "
+            f"batched={batched.logical_error_rate:.4f} z={z:+.2f}"
+        )
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_uniform_profile_is_bit_identical_to_noise_params(self, engine):
+        """The degenerate profile must reproduce the profile-less run exactly."""
+        plain = run_experiment(
+            make_policy("eraser"), PROTOCOL_SWAP, LeakageTransportModel.REMAIN,
+            engine, shots=60, seed=424242, decode=True,
+        )
+        experiment = MemoryExperiment(
+            distance=DISTANCE,
+            policy=make_policy("eraser"),
+            noise=NoiseParams.standard(P),
+            noise_profile=NoiseProfile.uniform(),
+            leakage=boosted_leakage(LeakageTransportModel.REMAIN),
+            cycles=CYCLES,
+            decode=True,
+            seed=424242,
+            engine=engine,
+        )
+        profiled = experiment.run(60)
+        assert plain.logical_errors == profiled.logical_errors
+        assert plain.lrcs_per_round == profiled.lrcs_per_round
+        np.testing.assert_array_equal(plain.lpr_total, profiled.lpr_total)
 
 
 class TestDeterministicPaths:

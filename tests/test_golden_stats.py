@@ -15,10 +15,12 @@ explicit numpy policy (NEP 19).
 import numpy as np
 import pytest
 
+from repro.codes import make_code
 from repro.core.policies import make_policy
 from repro.experiments.memory import MemoryExperiment
 from repro.noise.leakage import LeakageModel
 from repro.noise.model import NoiseParams
+from repro.noise.profiles import NoiseProfile
 
 SEED = 20230615
 SHOTS = 80
@@ -54,6 +56,59 @@ def run_golden(engine, policy_name):
 def test_golden_statistics(engine, policy_name):
     result = run_golden(engine, policy_name)
     errors, lpr_total, lpr_data, lpr_parity, lrcs = GOLDEN[(engine, policy_name)]
+    assert result.logical_errors == errors
+    assert float(np.mean(result.lpr_total)) == pytest.approx(lpr_total, abs=1e-9)
+    assert float(np.mean(result.lpr_data)) == pytest.approx(lpr_data, abs=1e-9)
+    assert float(np.mean(result.lpr_parity)) == pytest.approx(lpr_parity, abs=1e-9)
+    assert result.lrcs_per_round == pytest.approx(lrcs, abs=1e-9)
+    assert result.metadata["engine"] == engine
+
+
+#: Scenario golden pins: one biased, one heterogeneous, and one
+#: repetition-code configuration, per engine, so future refactors cannot
+#: silently drift the scenario-diversity workloads either.  Scenario key ->
+#: (code family, noise profile).
+SCENARIOS = {
+    "biased": ("rotated-surface", NoiseProfile.biased(4.0)),
+    "heterogeneous": ("rotated-surface", NoiseProfile.heterogeneous(7, 0.8)),
+    "repetition": ("repetition", None),
+}
+
+#: (engine, scenario) -> (logical errors, mean LPR total/data/parity, LRCs/round).
+GOLDEN_SCENARIOS = {
+    ("batched", "biased"): (3, 0.0000000000, 0.0000000000, 0.0000000000, 0.1625000000),
+    ("batched", "heterogeneous"): (1, 0.0001225490, 0.0002314815, 0.0000000000, 0.1687500000),
+    ("batched", "repetition"): (0, 0.0000000000, 0.0000000000, 0.0000000000, 0.0270833333),
+    ("scalar", "biased"): (2, 0.0009803922, 0.0016203704, 0.0002604167, 0.1666666667),
+    ("scalar", "heterogeneous"): (3, 0.0014705882, 0.0020833333, 0.0007812500, 0.2520833333),
+    ("scalar", "repetition"): (0, 0.0016666667, 0.0027777778, 0.0000000000, 0.0187500000),
+}
+
+
+def run_golden_scenario(engine, scenario):
+    code_family, profile = SCENARIOS[scenario]
+    experiment = MemoryExperiment(
+        code=make_code(code_family, 3),
+        policy=make_policy("eraser"),
+        noise=NoiseParams.standard(2e-3),
+        noise_profile=profile,
+        leakage=LeakageModel.standard(2e-3),
+        cycles=2,
+        decode=True,
+        seed=SEED,
+        engine=engine,
+    )
+    return experiment.run(SHOTS)
+
+
+@pytest.mark.parametrize(
+    "engine,scenario",
+    sorted(GOLDEN_SCENARIOS),
+    ids=[f"{engine}-{scenario}" for engine, scenario in sorted(GOLDEN_SCENARIOS)],
+)
+def test_golden_scenario_statistics(engine, scenario):
+    result = run_golden_scenario(engine, scenario)
+    errors, lpr_total, lpr_data, lpr_parity, lrcs = GOLDEN_SCENARIOS[(engine, scenario)]
     assert result.logical_errors == errors
     assert float(np.mean(result.lpr_total)) == pytest.approx(lpr_total, abs=1e-9)
     assert float(np.mean(result.lpr_data)) == pytest.approx(lpr_data, abs=1e-9)

@@ -101,3 +101,50 @@ class TestLeakageModel:
     def test_transport_model_from_string(self):
         assert LeakageTransportModel("remain") is LeakageTransportModel.REMAIN
         assert LeakageTransportModel("exchange") is LeakageTransportModel.EXCHANGE
+
+
+class TestValidateUsesDataclassFields:
+    """Regression: ``validate()`` must enumerate dataclass fields.
+
+    The original implementation iterated ``self.__dict__.items()``, which is
+    empty under ``__slots__`` layouts (silently validating nothing) and flags
+    stray non-field attributes under subclassing.  ``dataclasses.fields()``
+    is the faithful list of the declared error mechanisms.
+    """
+
+    def test_every_field_is_validated(self):
+        import dataclasses
+
+        for spec in dataclasses.fields(NoiseParams):
+            bad = NoiseParams.standard().with_overrides(**{spec.name: 1.5})
+            with pytest.raises(ValueError, match=spec.name):
+                bad.validate()
+
+    def test_stray_non_field_attributes_are_ignored(self):
+        params = NoiseParams.standard()
+        # Frozen dataclasses still allow object.__setattr__; a stray attribute
+        # (e.g. a cached derived value added by a subclass) must not be
+        # mistaken for an error-mechanism probability.
+        object.__setattr__(params, "cached_not_a_probability", 7.0)
+        params.validate()
+
+    def test_slots_subclass_is_still_validated(self):
+        import dataclasses
+
+        slotted = dataclasses.make_dataclass(
+            "SlottedNoiseParams",
+            [],
+            bases=(NoiseParams,),
+            frozen=True,
+            slots=True,
+        )
+        with pytest.raises(ValueError, match="p_measure"):
+            slotted(
+                p=1e-3,
+                p_round_depolarize=1e-3,
+                p_gate1=1e-3,
+                p_gate2=1e-3,
+                p_measure=2.0,
+                p_reset=1e-3,
+                p_multilevel_readout_error=1e-2,
+            ).validate()

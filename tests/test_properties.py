@@ -16,6 +16,7 @@ from repro.decoder.matching import MwpmMatcher
 from repro.experiments.metrics import SpeculationCounts, binomial_stderr, wilson_interval
 from repro.noise.leakage import LeakageModel
 from repro.noise.model import NoiseParams
+from repro.noise.profiles import NoiseProfile, QubitNoise
 from repro.sim.batched_frame_simulator import BatchedLeakageFrameSimulator
 from repro.sim.circuit import Cnot, Hadamard, Measure, MeasureReset, RoundNoise
 from repro.sim.frame_simulator import LeakageFrameSimulator
@@ -144,6 +145,83 @@ class TestMetricsProperties:
     @settings(max_examples=30, deadline=None)
     def test_invisible_probability_is_decreasing(self, rounds):
         assert invisible_leakage_probability(rounds + 1) < invisible_leakage_probability(rounds)
+
+
+#: Strategy generating one valid profile of every kind.
+noise_profiles = st.one_of(
+    st.just(NoiseProfile.uniform()),
+    st.builds(
+        NoiseProfile.biased,
+        eta=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    ),
+    st.builds(
+        NoiseProfile.heterogeneous,
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        spread=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    ),
+    st.builds(
+        NoiseProfile.hot_spot,
+        indices=st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=4),
+        factor=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+)
+
+
+class TestNoiseProfileProperties:
+    @given(profile=noise_profiles)
+    @settings(max_examples=80, deadline=None)
+    def test_profile_round_trips_through_canonical_json(self, profile):
+        text = profile.canonical_json()
+        assert NoiseProfile.from_json(text) == profile
+        # Canonical means canonical: re-serialising is byte-identical.
+        assert NoiseProfile.from_json(text).canonical_json() == text
+
+    @given(profile=noise_profiles)
+    @settings(max_examples=40, deadline=None)
+    def test_config_round_trips(self, profile):
+        assert NoiseProfile.from_config(profile.to_config()) == profile
+
+    @given(
+        profile=noise_profiles,
+        num_qubits=st.integers(min_value=16, max_value=64),
+        p=st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_materialized_arrays_match_qubit_count_and_are_probabilities(
+        self, profile, num_qubits, p
+    ):
+        noise = profile.materialize(NoiseParams.standard(p), num_qubits)
+        if profile.is_uniform:
+            assert isinstance(noise, NoiseParams)
+            return
+        assert isinstance(noise, QubitNoise)
+        assert noise.num_qubits == num_qubits
+        for name in QubitNoise.CHANNELS:
+            array = getattr(noise, name)
+            assert array.shape == (num_qubits,)
+            assert ((array >= 0.0) & (array <= 1.0)).all()
+        noise.validate()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        spread=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        num_qubits=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heterogeneous_multipliers_are_deterministic(self, seed, spread, num_qubits):
+        profile = NoiseProfile.heterogeneous(seed, spread)
+        a = profile.qubit_multipliers(num_qubits)
+        b = profile.qubit_multipliers(num_qubits)
+        np.testing.assert_array_equal(a, b)
+        assert (a > 0.0).all()
+
+    @given(value=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_validation_rejects_out_of_range_probabilities(self, value):
+        with pytest.raises(ValueError):
+            NoiseParams.standard().with_overrides(p_measure=1.0 + value).validate()
+        with pytest.raises(ValueError):
+            NoiseProfile.biased(-value)
 
 
 class TestSimulatorProperties:

@@ -21,6 +21,7 @@ class TestRegistryContents:
         expected = {
             "fig2c", "eq1-2", "table2", "fig5", "fig6", "fig8", "fig14", "fig14b",
             "fig15", "fig16", "table3", "table4", "fig17", "fig20", "ablations",
+            "ler-vs-bias", "ler-heterogeneous", "repetition-baseline",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -62,6 +63,7 @@ class TestSweepPlans:
     MONTE_CARLO = {
         "fig2c", "fig5", "fig6", "fig14", "fig14b", "fig15", "fig16",
         "table4", "fig17", "fig20", "ablations",
+        "ler-vs-bias", "ler-heterogeneous", "repetition-baseline",
     }
 
     def test_monte_carlo_experiments_have_plans(self):
@@ -112,6 +114,37 @@ class TestSweepPlans:
     def test_fig17_plan_uses_exchange_transport(self):
         plan = EXPERIMENTS["fig17"].make_plan(shots=4, max_distance=3, seed=1)
         assert {job.transport_model for job in plan.jobs} == {"exchange"}
+
+    def test_bias_plan_sweeps_eta(self):
+        from repro.experiments.sweep import BIAS_ETAS
+        from repro.noise.profiles import NoiseProfile
+
+        plan = EXPERIMENTS["ler-vs-bias"].make_plan(shots=4, max_distance=3, seed=1)
+        etas = {
+            NoiseProfile.from_json(job.noise_profile).eta
+            for job in plan.jobs
+            if job.noise_profile
+        }
+        assert etas == set(BIAS_ETAS)
+        assert len(plan.jobs) == 2 * len(BIAS_ETAS)  # two policies per eta
+
+    def test_heterogeneous_plan_sweeps_spread(self):
+        from repro.experiments.sweep import HETEROGENEOUS_SPREADS
+        from repro.noise.profiles import NoiseProfile
+
+        plan = EXPERIMENTS["ler-heterogeneous"].make_plan(shots=4, max_distance=3, seed=1)
+        spreads = {
+            NoiseProfile.from_json(job.noise_profile).spread
+            for job in plan.jobs
+            if job.noise_profile
+        }
+        assert spreads == set(HETEROGENEOUS_SPREADS)
+        assert len(plan.jobs) == 2 * len(HETEROGENEOUS_SPREADS)
+
+    def test_repetition_plan_uses_the_repetition_family(self):
+        plan = EXPERIMENTS["repetition-baseline"].make_plan(shots=4, max_distance=5, seed=1)
+        assert {job.code_family for job in plan.jobs} == {"repetition"}
+        assert {job.distance for job in plan.jobs} == {3, 5}
 
     def test_index_marks_runnable_experiments(self):
         text = format_experiment_index()

@@ -212,3 +212,69 @@ class TestJobExecution:
         conservative = plan.jobs[0].run()
         aggressive = plan.jobs[1].run()
         assert conservative.lrcs_per_round >= aggressive.lrcs_per_round
+
+
+class TestScenarioIdentity:
+    """Cache identity of the scenario-diversity knobs (code family, profile)."""
+
+    def test_default_config_omits_scenario_keys(self):
+        """Pre-existing cache entries must keep their addresses: the
+        degenerate defaults stay out of the canonical config entirely."""
+        config = make_job().config_dict()
+        assert "code_family" not in config
+        assert "noise_profile" not in config
+
+    def test_non_default_family_and_profile_change_the_key(self):
+        base = make_job()
+        rep = make_job(code_family="repetition")
+        biased = make_job(noise_profile='{"eta":4.0,"kind":"biased"}')
+        keys = {base.cache_key(), rep.cache_key(), biased.cache_key()}
+        assert len(keys) == 3
+
+    def test_plan_build_normalises_profile_forms(self):
+        from repro.noise.profiles import NoiseProfile
+
+        profile = NoiseProfile.biased(4.0)
+        config = dict(distance=3, policy="eraser", shots=4, rounds=3)
+        plans = [
+            SweepPlan.build([dict(config, noise_profile=form)], seed=1)
+            for form in (
+                profile, profile.canonical_json(), profile.to_config(), "biased:eta=4",
+            )
+        ]
+        keys = {plan.jobs[0].cache_key() for plan in plans}
+        assert len(keys) == 1
+        assert plans[0].jobs[0].noise_profile == profile.canonical_json()
+
+    def test_uniform_profile_normalises_to_none(self):
+        from repro.noise.profiles import NoiseProfile
+
+        plan = SweepPlan.build(
+            [dict(distance=3, policy="eraser", shots=4, rounds=3,
+                  noise_profile=NoiseProfile.uniform())],
+            seed=1,
+        )
+        assert plan.jobs[0].noise_profile is None
+        plain = SweepPlan.build(
+            [dict(distance=3, policy="eraser", shots=4, rounds=3)], seed=1
+        )
+        assert plan.jobs[0].cache_key() == plain.jobs[0].cache_key()
+
+    def test_code_family_aliases_canonicalise(self):
+        plan = SweepPlan.build(
+            [dict(distance=3, policy="eraser", shots=4, rounds=3,
+                  code_family="Repetition_Code")],
+            seed=1,
+        )
+        assert plan.jobs[0].code_family == "repetition"
+
+    def test_scenario_job_runs_and_reports_metadata(self):
+        job = make_job(
+            code_family="repetition",
+            noise_profile='{"eta":4.0,"kind":"biased"}',
+            shots=4,
+            chunk_shots=4,
+        )
+        result = job.run()
+        assert result.metadata["code_family"] == "repetition"
+        assert result.metadata["noise_profile"] == {"kind": "biased", "eta": 4.0}
