@@ -1,0 +1,140 @@
+"""Packed (bit-parallel) vs batched Monte-Carlo engine throughput.
+
+Times ``MemoryExperiment.run`` on the same d=5 workload with the batched and
+packed engines across every scheduling policy.  The packed engine carries the
+X/Z/leakage frames as 64-shot machine words and runs all circuit kernels as
+word-wide bitwise operations, unpacking only at the syndrome-extraction
+boundary, so its advantage grows linearly with the shot count until memory
+bandwidth saturates.
+
+Two lanes are reported per policy:
+
+* **sim-only** (``decode=False``) — the engine metric.  The MWPM decoder is
+  shared by all engines, so this lane isolates the Monte-Carlo kernels the
+  packed engine actually replaces.  The PR that introduced the engine
+  targets >= 5x over batched at 10k shots, d=5, on this lane.
+* **decode-on** — end-to-end wall clock with the decoder running, recorded
+  for honesty about what a full experiment gains (the decoder cost dilutes
+  the ratio).
+
+The numbers are written to ``BENCH_packed.json`` at the repository root —
+the perf trajectory future engine PRs regress against.  Statistical
+equivalence between the engines is certified separately by
+``tests/test_batched_equivalence.py``; this benchmark only asserts the
+throughput floor.
+
+Environment knobs (see ``conftest.py``): ``ERASER_REPRO_SHOTS`` is
+*ignored* here in favour of ``ERASER_REPRO_PACKED_SHOTS`` (default 10000 —
+the acceptance shot count; CI quick mode sets it lower, where fixed
+per-batch costs weigh more and the guard is looser), plus
+``ERASER_REPRO_SEED`` and ``ERASER_REPRO_BENCH_OUT`` to redirect the JSON.
+"""
+
+import json
+import os
+import time
+
+from conftest import _int_env, emit
+
+from repro.core.policies import make_policy
+from repro.experiments.memory import MemoryExperiment
+
+POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal", "no-lrc")
+DISTANCE = 5
+CYCLES = 2
+REPEATS = 2
+
+#: Acceptance workload: 10k shots, d=5, sim-only lane >= 5x over batched.
+TARGET_SHOTS = 10_000
+TARGET_SPEEDUP = 5.0
+QUICK_SPEEDUP = 1.5
+
+
+def _time_run(policy_name, engine, shots, seed, decode):
+    experiment = MemoryExperiment(
+        distance=DISTANCE,
+        policy=make_policy(policy_name),
+        cycles=CYCLES,
+        seed=seed,
+        engine=engine,
+        decode=decode,
+    )
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = experiment.run(shots)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_packed_vs_batched_speedup(seed):
+    shots = _int_env("ERASER_REPRO_PACKED_SHOTS", TARGET_SHOTS)
+    rows = []
+    report = {
+        "workload": {
+            "distance": DISTANCE,
+            "cycles": CYCLES,
+            "shots": shots,
+            "seed": seed,
+            "repeats": REPEATS,
+        },
+        "policies": {},
+    }
+    sim_speedups = {}
+    for policy_name in POLICIES:
+        t_batched, r_batched = _time_run(policy_name, "batched", shots, seed, False)
+        t_packed, r_packed = _time_run(policy_name, "packed", shots, seed, False)
+        t_batched_dec, rb_dec = _time_run(policy_name, "batched", shots, seed, True)
+        t_packed_dec, rp_dec = _time_run(policy_name, "packed", shots, seed, True)
+        sim_speedups[policy_name] = t_batched / t_packed
+        rows.append(
+            f"{policy_name:>10s}  sim-only: batched {t_batched:6.2f}s"
+            f"  packed {t_packed:6.2f}s  {sim_speedups[policy_name]:6.2f}x"
+            f"   decode-on: {t_batched_dec / t_packed_dec:5.2f}x"
+            f"  LER {rb_dec.logical_error_rate:.4f}/{rp_dec.logical_error_rate:.4f}"
+        )
+        report["policies"][policy_name] = {
+            "sim_only": {
+                "batched_s": t_batched,
+                "packed_s": t_packed,
+                "speedup": sim_speedups[policy_name],
+                "shots_per_second_batched": shots / t_batched,
+                "shots_per_second_packed": shots / t_packed,
+            },
+            "decode_on": {
+                "batched_s": t_batched_dec,
+                "packed_s": t_packed_dec,
+                "speedup": t_batched_dec / t_packed_dec,
+            },
+            "lrcs_per_round": {
+                "batched": rb_dec.lrcs_per_round,
+                "packed": rp_dec.lrcs_per_round,
+            },
+            "logical_error_rate": {
+                "batched": rb_dec.logical_error_rate,
+                "packed": rp_dec.logical_error_rate,
+            },
+        }
+
+    out_path = os.environ.get(
+        "ERASER_REPRO_BENCH_OUT",
+        os.path.join(os.path.dirname(__file__), "..", "BENCH_packed.json"),
+    )
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    emit(
+        f"Packed vs batched engine, d={DISTANCE}, {CYCLES * DISTANCE} rounds, "
+        f"{shots} shots",
+        "\n".join(rows + [f"-> {os.path.abspath(out_path)}"]),
+    )
+
+    # Regression guard.  Full-size runs must hold the 5x acceptance target
+    # on the sim-only lane; quick mode only guards against losing the edge.
+    floor = TARGET_SPEEDUP if shots >= TARGET_SHOTS else QUICK_SPEEDUP
+    worst = min(sim_speedups.values())
+    assert worst >= floor, (
+        f"packed engine lost its edge: {sim_speedups} (floor {floor}x)"
+    )

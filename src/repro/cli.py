@@ -71,9 +71,10 @@ def _add_common_sweep_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine",
-        choices=["auto", "batched", "scalar"],
+        choices=["auto", "batched", "scalar", "packed"],
         default="auto",
-        help="Monte-Carlo engine: vectorised batched shots or the scalar loop.",
+        help="Monte-Carlo engine: bit-packed words, vectorised batched "
+        "shots, or the scalar loop (auto picks packed for large runs).",
     )
     parser.add_argument(
         "--code-family",

@@ -80,6 +80,10 @@ class EraserPolicy(LrcPolicy):
             adjacency[data_qubit, self._lsb._neighbors[data_qubit]] = 1
         self._adjacency_t = adjacency.T.copy()
         self._thresholds = self._lsb._thresholds
+        # Candidate lists in the DLI's visitation order (ascending data qubit,
+        # primary before backups) so the batched path can replay the greedy
+        # pairing for all shots at once.
+        self._dli_candidates = sorted(self._dli.lookup_table.candidates.items())
         self._batch_ltt = None
         self._batch_putt = None
         self._batch_had_lrc = None
@@ -142,17 +146,27 @@ class EraserPolicy(LrcPolicy):
             mark |= (leaked_checks.astype(np.uint8) @ self._adjacency_t) > 0
         self._batch_ltt |= mark & ~had_lrc
 
-        # DLI step: the greedy lookup-table pairing is inherently sequential
-        # per shot, but speculation fires rarely, so only the shots with a
-        # non-empty candidate list pay for it.
+        # DLI step: the greedy lookup-table pairing is sequential over data
+        # qubits, but every shot walks the same ascending-qubit, primary-first
+        # candidate order, so the whole batch replays it in lockstep — one
+        # boolean column op per (data qubit, candidate) instead of a Python
+        # loop per shot.  Decisions are identical to DynamicLrcInsertion.assign
+        # run shot by shot.
         assign = np.full((shots, self.code.num_data_qubits), NO_LRC, dtype=np.int16)
-        for shot in np.flatnonzero(self._batch_ltt.any(axis=1)):
-            assignment = self._dli.assign(
-                (int(q) for q in np.flatnonzero(self._batch_ltt[shot])),
-                blocked_stabilizers=np.flatnonzero(self._batch_putt[shot]),
-            )
-            for data_qubit, stab in assignment.items():
-                assign[shot, data_qubit] = stab
+        if self._batch_ltt.any():
+            taken = self._batch_putt.copy()
+            for data_qubit, candidates in self._dli_candidates:
+                pending = self._batch_ltt[:, data_qubit].copy()
+                if not pending.any():
+                    continue
+                for stab in candidates:
+                    take = pending & ~taken[:, stab]
+                    if take.any():
+                        assign[take, data_qubit] = stab
+                        taken[take, stab] = True
+                        pending &= ~take
+                        if not pending.any():
+                            break
 
         # Commit step: assigned qubits leave the LTT, their parity qubits are
         # blocked for one round, and they count as "had an LRC" next round.

@@ -11,17 +11,22 @@ The harness additionally records, per round, the leakage population ratio
 and the confusion matrix of the policy's per-qubit LRC decisions against the
 simulator's ground-truth leakage.
 
-Two execution engines are provided.  The scalar engine runs one shot at a
+Three execution engines are provided.  The scalar engine runs one shot at a
 time through a fresh :class:`~repro.sim.frame_simulator.LeakageFrameSimulator`
 (the reference implementation).  The batched engine drives all shots of a
 batch through one
 :class:`~repro.sim.batched_frame_simulator.BatchedLeakageFrameSimulator`:
 each round, the policy produces per-shot LRC assignments in one vectorised
-call, shots sharing an identical assignment are grouped so the QEC Schedule
-Generator builds (and caches) each distinct round schedule only once, and the
-group's operations execute over a row subset of the 2-D frame arrays.  The
-engines are statistically equivalent (``tests/test_batched_equivalence.py``);
-the batched engine is several times faster at realistic shot counts.
+call and the per-shot LRC tails run as flattened pair instances over the 2-D
+frame arrays.  The packed engine
+(:class:`~repro.sim.packed_frame_simulator.PackedLeakageFrameSimulator`)
+shares the batched control flow but carries the frames as bit-packed uint64
+words — 64 shots per word — with sparsely sampled noise, unpacking only at
+the syndrome-extraction boundary where the decoder and the policy's
+``decide_batch`` take over.  The engines are statistically equivalent
+(``tests/test_batched_equivalence.py``); the batched engine is several times
+faster than scalar at realistic shot counts, and the packed engine is an
+order of magnitude faster again at >= 10k shots (``BENCH_packed.json``).
 """
 
 from __future__ import annotations
@@ -50,13 +55,31 @@ from repro.noise.profiles import NoiseProfile
 from repro.sim.batched_frame_simulator import BatchedLeakageFrameSimulator
 from repro.sim.circuit import MeasureReset
 from repro.sim.frame_simulator import LeakageFrameSimulator
+from repro.sim.packed_frame_simulator import PackedLeakageFrameSimulator
 from repro.sim.rng import RngLike, make_rng
 
 #: Shots simulated together per batch unless the caller overrides it.
 DEFAULT_BATCH_SIZE = 1024
 
+#: Default batch size for the packed engine.  Packed per-batch costs are
+#: dominated by fixed per-operation overhead (a few numpy calls each), so
+#: larger batches amortise better; 16384 shots is 256 words per qubit.
+DEFAULT_PACKED_BATCH_SIZE = 16384
+
+#: Shot count at which ``engine="auto"`` switches from batched to packed.
+#: Kept above the sweep runner's default chunk size (256) so existing
+#: chunked sweeps — and their content-addressed result caches — keep
+#: resolving to the batched engine and its random stream.
+PACKED_AUTO_MIN_SHOTS = 4096
+
 #: Valid ``engine`` arguments of :class:`MemoryExperiment`.
-ENGINES = ("auto", "batched", "scalar")
+ENGINES = ("auto", "batched", "scalar", "packed")
+
+#: Multi-shot simulator class behind each vectorised engine name.
+_BATCH_SIMULATORS = {
+    "batched": BatchedLeakageFrameSimulator,
+    "packed": PackedLeakageFrameSimulator,
+}
 
 
 @dataclass
@@ -97,13 +120,17 @@ class MemoryExperiment:
         decoder_cache_size: Bound on the decoder's syndrome->correction LRU
             (``None`` = library default, ``0`` disables).  Performance-only.
         seed: Seed or generator for reproducibility.
-        engine: ``"batched"`` (vectorised multi-shot execution), ``"scalar"``
-            (the reference one-shot-at-a-time loop), or ``"auto"`` (batched
-            whenever the policy supports it).  Both engines are statistically
-            equivalent but draw random numbers in different orders, so
-            per-shot outcomes differ bit-for-bit between them.
-        batch_size: Shots simulated together per batch in the batched engine
-            (default :data:`DEFAULT_BATCH_SIZE`); ignored by the scalar one.
+        engine: ``"packed"`` (bit-packed word-parallel execution, 64 shots
+            per uint64 word), ``"batched"`` (vectorised boolean-array
+            execution), ``"scalar"`` (the reference one-shot-at-a-time
+            loop), or ``"auto"`` (packed for runs of at least
+            :data:`PACKED_AUTO_MIN_SHOTS` shots, else batched, whenever the
+            policy supports vectorised decisions).  All engines are
+            statistically equivalent but draw random numbers in different
+            orders, so per-shot outcomes differ bit-for-bit between them.
+        batch_size: Shots simulated together per batch in the vectorised
+            engines (defaults: :data:`DEFAULT_BATCH_SIZE` batched,
+            :data:`DEFAULT_PACKED_BATCH_SIZE` packed); ignored by scalar.
     """
 
     def __init__(
@@ -138,6 +165,14 @@ class MemoryExperiment:
             raise ValueError("rounds must be >= 1")
         if policy is None:
             raise ValueError("a scheduling policy is required")
+        if isinstance(policy, str):
+            # Resolve names ("eraser", "always-lrc", ...) here rather than
+            # crashing later on `policy.bind` / `policy.supports_batch`;
+            # resolve_policy raises a ValueError naming the valid policies.
+            # Imported lazily: jobs imports this module at load time.
+            from repro.experiments.jobs import resolve_policy
+
+            policy = resolve_policy(policy)
         self.policy = policy
         base_noise = noise if noise is not None else NoiseParams.standard()
         self.noise_profile = noise_profile if noise_profile is not None else NoiseProfile.uniform()
@@ -151,9 +186,9 @@ class MemoryExperiment:
         self.rng = make_rng(seed)
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-        if engine == "batched" and not policy.supports_batch:
+        if engine in _BATCH_SIMULATORS and not policy.supports_batch:
             raise ValueError(
-                f"policy {policy.name!r} does not support the batched engine"
+                f"policy {policy.name!r} does not support the {engine} engine"
             )
         self.engine = engine
         if batch_size is not None and batch_size < 1:
@@ -288,8 +323,13 @@ class MemoryExperiment:
         if shot_idx.size:
             if not self._adjacency[data_qubit, stabs].all():
                 raise ValueError("LRC assignment pairs a data qubit with a non-adjacent stabilizer")
-            keys = shot_idx * self.code.num_stabilizers + stabs
-            if np.unique(keys).size != keys.size:
+            # O(instances) duplicate check via scatter (np.unique hashing
+            # dominated the whole batch at dense assignment loads).
+            n_stabs = self.code.num_stabilizers
+            keys = shot_idx * n_stabs + stabs
+            seen = np.zeros(assignments.shape[0] * n_stabs, dtype=bool)
+            seen[keys] = True
+            if np.count_nonzero(seen) != keys.size:
                 raise ValueError("LRC assignment reuses a parity qubit within one round")
         return (
             shot_idx,
@@ -300,12 +340,13 @@ class MemoryExperiment:
 
     def _run_batch(
         self,
+        engine: str,
         batch_shots: int,
         lpr_sums: np.ndarray,
         speculation: SpeculationCounts,
     ) -> Tuple[int, int]:
         """Run one batch; returns (logical errors, LRCs scheduled)."""
-        sim = BatchedLeakageFrameSimulator(
+        sim = _BATCH_SIMULATORS[engine](
             self.code.num_qubits, self.noise, self.leakage, shots=batch_shots,
             rng=self.rng,
         )
@@ -321,7 +362,7 @@ class MemoryExperiment:
 
         for round_index in range(self.rounds):
             predicted = assignments >= 0
-            leaked = sim.leaked[:, self._data_indices]
+            leaked = sim.leaked_at(self._data_indices)
             speculation.update(
                 tp=np.count_nonzero(predicted & leaked),
                 fp=np.count_nonzero(predicted & ~leaked),
@@ -372,7 +413,7 @@ class MemoryExperiment:
             detection_events = (syndrome ^ previous_syndrome).astype(bool)
             previous_syndrome = syndrome
             truth = (
-                sim.leaked[:, self._data_indices]
+                sim.leaked_at(self._data_indices)
                 if self.policy.uses_ground_truth
                 else None
             )
@@ -392,9 +433,19 @@ class MemoryExperiment:
             logical_errors = int(np.count_nonzero(errors))
         return logical_errors, total_lrcs
 
-    def _resolve_engine(self) -> str:
+    def _resolve_engine(self, shots: int) -> str:
+        """Resolve ``"auto"`` against the policy and the requested shot count.
+
+        ``auto`` picks the packed engine once the run is large enough to
+        amortise its fixed per-operation cost (and always above the sweep
+        runner's chunk size, so chunked sweep caches keep their batched
+        random streams); smaller vectorisable runs stay batched, and
+        policies without ``decide_batch`` fall back to the scalar loop.
+        """
         if self.engine == "auto":
-            return "batched" if self.policy.supports_batch else "scalar"
+            if not self.policy.supports_batch:
+                return "scalar"
+            return "packed" if shots >= PACKED_AUTO_MIN_SHOTS else "batched"
         return self.engine
 
     # ------------------------------------------------------------------
@@ -404,20 +455,23 @@ class MemoryExperiment:
         """Run ``shots`` Monte-Carlo shots and aggregate the observations."""
         if shots < 1:
             raise ValueError("shots must be >= 1")
-        engine = self._resolve_engine()
+        engine = self._resolve_engine(shots)
         lpr_total = np.zeros(self.rounds)
         lpr_data = np.zeros(self.rounds)
         lpr_parity = np.zeros(self.rounds)
         speculation = SpeculationCounts()
         logical_errors = 0
         total_lrcs = 0
-        if engine == "batched":
-            batch_size = self.batch_size or DEFAULT_BATCH_SIZE
+        if engine in _BATCH_SIMULATORS:
+            default_size = (
+                DEFAULT_PACKED_BATCH_SIZE if engine == "packed" else DEFAULT_BATCH_SIZE
+            )
+            batch_size = self.batch_size or default_size
             lpr_sums = np.zeros((3, self.rounds))
             done = 0
             while done < shots:
                 batch_shots = min(batch_size, shots - done)
-                errors, lrcs = self._run_batch(batch_shots, lpr_sums, speculation)
+                errors, lrcs = self._run_batch(engine, batch_shots, lpr_sums, speculation)
                 logical_errors += errors
                 total_lrcs += lrcs
                 done += batch_shots

@@ -156,13 +156,26 @@ def _biased_pauli_cdfs(eta: float) -> Tuple[np.ndarray, np.ndarray]:
     wz = 3.0 * eta / (eta + 2.0)
     wx = wy = 3.0 / (eta + 2.0)
     single = np.array([wx, wy, wz], dtype=np.float64)
-    pauli1_cdf = np.cumsum(single / single.sum())
-    pauli1_cdf[-1] = 1.0
     letters = np.array([1.0, wx, wy, wz], dtype=np.float64)
     joint = np.outer(letters, letters).ravel()[1:]  # drop the (I, I) pair
-    pauli2_cdf = np.cumsum(joint / joint.sum())
-    pauli2_cdf[-1] = 1.0
-    return pauli1_cdf, pauli2_cdf
+    return _cdf_from_weights(single), _cdf_from_weights(joint)
+
+
+def _cdf_from_weights(weights: np.ndarray) -> np.ndarray:
+    """Exact cumulative distribution from non-negative weights.
+
+    Accumulate first, normalise by the total afterwards: dividing every
+    partial sum by the same positive total is order-preserving under IEEE
+    rounding, so the result is monotone by construction, and the last entry
+    is exactly ``total / total == 1.0``.  (Normalising the weights *before*
+    the cumsum can float past 1.0 at extreme ratios such as ``eta = 1e-12``,
+    where pinning ``cdf[-1] = 1.0`` afterwards left a negative final diff.)
+    """
+    cdf = np.cumsum(np.asarray(weights, dtype=np.float64))
+    total = cdf[-1]
+    if not total > 0.0:
+        raise ValueError("Pauli weights must have a positive total")
+    return cdf / total
 
 
 @dataclass(frozen=True)

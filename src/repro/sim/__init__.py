@@ -8,7 +8,7 @@ simulator executes the lightweight circuit IR defined in
 :mod:`repro.sim.circuit` and implements the circuit-level noise and leakage
 model of Section 5.2 of the paper.
 
-Two engines share that IR:
+Three engines share that IR:
 
 * :class:`~repro.sim.frame_simulator.LeakageFrameSimulator` — the scalar
   reference engine; one Monte-Carlo shot per instance, frames are
@@ -17,14 +17,22 @@ Two engines share that IR:
   the batched engine; frames are ``(shots, num_qubits)`` arrays and every
   operation is vectorised across the shot axis, which removes the Python
   interpreter from the Monte-Carlo hot path.
+* :class:`~repro.sim.packed_frame_simulator.PackedLeakageFrameSimulator` —
+  the packed engine; frames are ``(ceil(shots / 64), num_qubits)`` uint64
+  words (64 shots per word), gates are word-wide XOR/AND kernels, and noise
+  is sampled sparsely (binomial hit counts on random distinct cells), so
+  per-channel work scales with the expected number of errors instead of
+  with ``shots``.
 
 The experiment harness (:class:`~repro.experiments.memory.MemoryExperiment`)
-selects between them via its ``engine`` argument (``"auto"`` uses the batched
-engine whenever the scheduling policy supports vectorised decisions, which
-all built-in policies do) and sizes the batches with ``batch_size``.  The two
+selects between them via its ``engine`` argument (``"auto"`` uses the packed
+engine for large vectorisable runs and the batched engine for smaller ones,
+whenever the scheduling policy supports vectorised decisions, which all
+built-in policies do) and sizes the batches with ``batch_size``.  The
 engines draw random numbers in different orders, so they are *statistically*
 — not bitwise — equivalent; noise-free circuits produce exactly equal output
-on both.  ``tests/test_batched_equivalence.py`` enforces this contract.
+on all of them.  ``tests/test_batched_equivalence.py`` enforces this
+contract.
 """
 
 from repro.sim.batched_frame_simulator import (
@@ -43,6 +51,7 @@ from repro.sim.circuit import (
     RoundNoise,
 )
 from repro.sim.frame_simulator import LeakageFrameSimulator, MeasurementRecord
+from repro.sim.packed_frame_simulator import PackedLeakageFrameSimulator
 from repro.sim.rng import make_rng
 
 __all__ = [
@@ -59,5 +68,6 @@ __all__ = [
     "MeasurementRecord",
     "BatchedLeakageFrameSimulator",
     "BatchedMeasurementRecord",
+    "PackedLeakageFrameSimulator",
     "make_rng",
 ]

@@ -183,6 +183,15 @@ class BatchedLeakageFrameSimulator:
                 raise TypeError(f"unsupported operation {type(op).__name__}")
         return records
 
+    def leaked_at(self, qubits: Sequence[int]) -> np.ndarray:
+        """Ground-truth leakage for the given qubits as bool ``(shots, k)``.
+
+        The engine-agnostic accessor the harness uses (the packed engine
+        cannot expose a sliceable boolean ``leaked`` attribute directly).
+        """
+        idx = np.asarray(qubits, dtype=np.int64)
+        return self.leaked[:, idx]
+
     def leaked_fraction(self, qubits: Optional[Sequence[int]] = None) -> np.ndarray:
         """Per-shot fraction of the given qubits (default: all) currently leaked.
 

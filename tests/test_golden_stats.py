@@ -31,6 +31,8 @@ GOLDEN = {
     ("scalar", "always-lrc"): (6, 0.0007352941, 0.0004629630, 0.0010416667, 4.3333333333),
     ("batched", "eraser"): (2, 0.0007352941, 0.0011574074, 0.0002604167, 0.1854166667),
     ("batched", "always-lrc"): (3, 0.0018382353, 0.0016203704, 0.0020833333, 4.3333333333),
+    ("packed", "eraser"): (1, 0.0006127451, 0.0011574074, 0.0000000000, 0.1479166667),
+    ("packed", "always-lrc"): (7, 0.0013480392, 0.0011574074, 0.0015625000, 4.3333333333),
 }
 
 
@@ -79,6 +81,9 @@ GOLDEN_SCENARIOS = {
     ("batched", "biased"): (3, 0.0000000000, 0.0000000000, 0.0000000000, 0.1625000000),
     ("batched", "heterogeneous"): (1, 0.0001225490, 0.0002314815, 0.0000000000, 0.1687500000),
     ("batched", "repetition"): (0, 0.0000000000, 0.0000000000, 0.0000000000, 0.0270833333),
+    ("packed", "biased"): (0, 0.0004901961, 0.0009259259, 0.0000000000, 0.1458333333),
+    ("packed", "heterogeneous"): (1, 0.0022058824, 0.0034722222, 0.0007812500, 0.2020833333),
+    ("packed", "repetition"): (0, 0.0020833333, 0.0034722222, 0.0000000000, 0.0416666667),
     ("scalar", "biased"): (2, 0.0009803922, 0.0016203704, 0.0002604167, 0.1666666667),
     ("scalar", "heterogeneous"): (3, 0.0014705882, 0.0020833333, 0.0007812500, 0.2520833333),
     ("scalar", "repetition"): (0, 0.0016666667, 0.0027777778, 0.0000000000, 0.0187500000),

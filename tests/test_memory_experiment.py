@@ -78,6 +78,40 @@ class TestConstruction:
         assert experiment.noise.p == pytest.approx(1e-3)
         assert experiment.leakage.p_leak_round == pytest.approx(1e-4)
 
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "packed", "auto"])
+    def test_accepts_policy_by_name(self, code, engine):
+        """String policies resolve through the registry instead of crashing."""
+        experiment = MemoryExperiment(
+            code=code,
+            policy="eraser",
+            noise=NoiseParams.standard(1e-3),
+            leakage=LeakageModel.standard(1e-3),
+            cycles=1,
+            seed=7,
+            engine=engine,
+        )
+        assert experiment.policy.name == "eraser"
+        result = experiment.run(8)
+        assert result.policy == "eraser"
+
+    def test_string_policy_matches_instance_policy(self, code):
+        kwargs = dict(
+            code=code,
+            noise=NoiseParams.standard(1e-3),
+            leakage=LeakageModel.standard(1e-3),
+            cycles=1,
+            seed=99,
+            engine="batched",
+        )
+        by_name = MemoryExperiment(policy="always-lrc", **kwargs).run(16)
+        by_instance = MemoryExperiment(policy=make_policy("always-lrc"), **kwargs).run(16)
+        assert by_name.logical_errors == by_instance.logical_errors
+        np.testing.assert_array_equal(by_name.lpr_total, by_instance.lpr_total)
+
+    def test_unknown_policy_name_raises_with_choices(self, code):
+        with pytest.raises(ValueError, match="eraser"):
+            MemoryExperiment(code=code, policy="not-a-policy", cycles=1)
+
 
 class TestNoiselessBehaviour:
     def test_no_logical_errors(self, code):

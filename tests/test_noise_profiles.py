@@ -4,7 +4,7 @@ Locks down the scenario-diversity axes that extend the paper's Section 5.2.1
 uniform error model:
 
 * the ``uniform`` profile is *bit-identical* to the plain ``NoiseParams``
-  path on both Monte-Carlo engines under a fixed seed (and so are degenerate
+  path on every Monte-Carlo engine under a fixed seed (and so are degenerate
   per-qubit profiles, which exercise the array plumbing with uniform rates);
 * for every non-uniform profile and for the repetition-code family, the
   scalar and batched engines remain statistically equivalent;
@@ -45,7 +45,7 @@ DEGENERATE_PROFILES = [
     ("hot-spot-factor1", NoiseProfile.hot_spot([2], 1.0)),
 ]
 
-#: Genuinely non-uniform profiles, exercised across both engines.
+#: Genuinely non-uniform profiles, exercised across the engines.
 SCENARIO_PROFILES = [
     ("biased", NoiseProfile.biased(8.0)),
     ("heterogeneous", NoiseProfile.heterogeneous(11, 0.8)),
@@ -83,13 +83,13 @@ def assert_results_identical(a, b):
 class TestUniformBitIdentical:
     """The degenerate profile must not perturb a single random draw."""
 
-    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "packed"])
     def test_uniform_profile_matches_noise_params_path(self, engine):
         plain = run_memory(engine, profile=None)
         profiled = run_memory(engine, profile=NoiseProfile.uniform())
         assert_results_identical(plain, profiled)
 
-    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "packed"])
     @pytest.mark.parametrize(
         "name,profile", DEGENERATE_PROFILES, ids=[n for n, _ in DEGENERATE_PROFILES]
     )
@@ -226,6 +226,40 @@ class TestProfilePhysics:
         np.testing.assert_array_equal(child, profile.qubit_multipliers(24))
 
 
+class TestBiasedCdfMonotonicity:
+    """Regression: extreme eta must still yield valid cumulative distributions.
+
+    ``_biased_pauli_cdfs`` used to normalise the weights *before* the cumsum
+    and then pin ``cdf[-1] = 1.0``; at eta = 1e-12 the partial sums floated a
+    few ulp past 1.0, so the pin produced a negative final diff and
+    ``QubitNoise.validate`` rejected the profile.
+    """
+
+    EXTREME_ETAS = [1e-12, 1e-9, 1.0, 1e9, 1e12]
+
+    @pytest.mark.parametrize("eta", EXTREME_ETAS)
+    def test_cdfs_are_monotone_and_end_at_one(self, eta):
+        from repro.noise.profiles import _biased_pauli_cdfs
+
+        for cdf in _biased_pauli_cdfs(eta):
+            assert (np.diff(cdf) >= 0.0).all()
+            assert float(cdf[-1]) == 1.0
+            assert (cdf >= 0.0).all() and (cdf <= 1.0).all()
+
+    @pytest.mark.parametrize("eta", EXTREME_ETAS)
+    def test_materialize_validates_at_extreme_eta(self, eta):
+        noise = NoiseProfile.biased(eta).materialize(NoiseParams.standard(P), 17)
+        assert isinstance(noise, QubitNoise)
+        noise.validate()
+
+    def test_eta_one_recovers_the_uniform_mix(self):
+        from repro.noise.profiles import _biased_pauli_cdfs
+
+        pauli1, pauli2 = _biased_pauli_cdfs(1.0)
+        np.testing.assert_allclose(np.diff(pauli1, prepend=0.0), 1.0 / 3.0)
+        np.testing.assert_allclose(np.diff(pauli2, prepend=0.0), 1.0 / 15.0)
+
+
 class TestValidation:
     def test_rejects_malformed_profiles(self):
         with pytest.raises(ValueError):
@@ -324,7 +358,7 @@ class TestRepetitionCodeStructure:
         with pytest.raises(ValueError):
             RepetitionCode(2)
 
-    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "packed"])
     def test_noiseless_experiment_is_error_free(self, engine):
         result = MemoryExperiment(
             code=RepetitionCode(5),
