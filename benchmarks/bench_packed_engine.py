@@ -16,6 +16,12 @@ Two lanes are reported per policy:
 * **decode-on** — end-to-end wall clock with the decoder running, recorded
   for honesty about what a full experiment gains (the decoder cost dilutes
   the ratio).
+* **decode-on, artifact-warm** — the packed decode-on lane rerun with the
+  shared-graph registry cleared before every repeat (emulating a fresh
+  process) against a populated decoder-artifact store
+  (:mod:`repro.decoder.artifacts`), vs the same fresh start without a
+  store.  This measures what every pool worker gains from mmap-loading the
+  decoding-graph tables instead of rebuilding them.
 
 The numbers are written to ``BENCH_packed.json`` at the repository root —
 the perf trajectory future engine PRs regress against.  Statistical
@@ -32,11 +38,13 @@ per-batch costs weigh more and the guard is looser), plus
 
 import json
 import os
+import tempfile
 import time
 
 from conftest import _int_env, emit
 
 from repro.core.policies import make_policy
+from repro.decoder.graph import clear_shared_graphs
 from repro.experiments.memory import MemoryExperiment
 
 POLICIES = ("always-lrc", "eraser", "eraser+m", "optimal", "no-lrc")
@@ -50,18 +58,29 @@ TARGET_SPEEDUP = 5.0
 QUICK_SPEEDUP = 1.5
 
 
-def _time_run(policy_name, engine, shots, seed, decode):
-    experiment = MemoryExperiment(
-        distance=DISTANCE,
-        policy=make_policy(policy_name),
-        cycles=CYCLES,
-        seed=seed,
-        engine=engine,
-        decode=decode,
-    )
+def _time_run(policy_name, engine, shots, seed, decode,
+              artifact_dir=None, fresh_start=False):
+    def build():
+        return MemoryExperiment(
+            distance=DISTANCE,
+            policy=make_policy(policy_name),
+            cycles=CYCLES,
+            seed=seed,
+            engine=engine,
+            decode=decode,
+            decoder_artifact_dir=artifact_dir,
+        )
+
+    # ``fresh_start`` emulates a new worker process: the shared-graph
+    # registry is dropped before every repeat, so each run pays the full
+    # decoding-graph table preparation (or skips it via the artifact store).
+    experiment = None if fresh_start else build()
     best = float("inf")
     result = None
     for _ in range(REPEATS):
+        if fresh_start:
+            clear_shared_graphs()
+            experiment = build()
         start = time.perf_counter()
         result = experiment.run(shots)
         best = min(best, time.perf_counter() - start)
@@ -82,40 +101,62 @@ def test_packed_vs_batched_speedup(seed):
         "policies": {},
     }
     sim_speedups = {}
-    for policy_name in POLICIES:
-        t_batched, r_batched = _time_run(policy_name, "batched", shots, seed, False)
-        t_packed, r_packed = _time_run(policy_name, "packed", shots, seed, False)
-        t_batched_dec, rb_dec = _time_run(policy_name, "batched", shots, seed, True)
-        t_packed_dec, rp_dec = _time_run(policy_name, "packed", shots, seed, True)
-        sim_speedups[policy_name] = t_batched / t_packed
-        rows.append(
-            f"{policy_name:>10s}  sim-only: batched {t_batched:6.2f}s"
-            f"  packed {t_packed:6.2f}s  {sim_speedups[policy_name]:6.2f}x"
-            f"   decode-on: {t_batched_dec / t_packed_dec:5.2f}x"
-            f"  LER {rb_dec.logical_error_rate:.4f}/{rp_dec.logical_error_rate:.4f}"
-        )
-        report["policies"][policy_name] = {
-            "sim_only": {
-                "batched_s": t_batched,
-                "packed_s": t_packed,
-                "speedup": sim_speedups[policy_name],
-                "shots_per_second_batched": shots / t_batched,
-                "shots_per_second_packed": shots / t_packed,
-            },
-            "decode_on": {
-                "batched_s": t_batched_dec,
-                "packed_s": t_packed_dec,
-                "speedup": t_batched_dec / t_packed_dec,
-            },
-            "lrcs_per_round": {
-                "batched": rb_dec.lrcs_per_round,
-                "packed": rp_dec.lrcs_per_round,
-            },
-            "logical_error_rate": {
-                "batched": rb_dec.logical_error_rate,
-                "packed": rp_dec.logical_error_rate,
-            },
-        }
+    with tempfile.TemporaryDirectory() as artifact_dir:
+        for policy_name in POLICIES:
+            t_batched, r_batched = _time_run(policy_name, "batched", shots, seed, False)
+            t_packed, r_packed = _time_run(policy_name, "packed", shots, seed, False)
+            t_batched_dec, rb_dec = _time_run(policy_name, "batched", shots, seed, True)
+            t_packed_dec, rp_dec = _time_run(policy_name, "packed", shots, seed, True)
+            # Artifact-warm lane: fresh-start packed decode without a store
+            # (per-process cold baseline) vs against the populated store.
+            t_cold_start, _ = _time_run(
+                policy_name, "packed", shots, seed, True, fresh_start=True
+            )
+            _time_run(  # populate the store outside the timed window
+                policy_name, "packed", min(shots, 64), seed, True,
+                artifact_dir=artifact_dir, fresh_start=True,
+            )
+            t_art_warm, r_art = _time_run(
+                policy_name, "packed", shots, seed, True,
+                artifact_dir=artifact_dir, fresh_start=True,
+            )
+            sim_speedups[policy_name] = t_batched / t_packed
+            rows.append(
+                f"{policy_name:>10s}  sim-only: batched {t_batched:6.2f}s"
+                f"  packed {t_packed:6.2f}s  {sim_speedups[policy_name]:6.2f}x"
+                f"   decode-on: {t_batched_dec / t_packed_dec:5.2f}x"
+                f"   artifact-warm: {t_cold_start / t_art_warm:5.2f}x"
+                f"  LER {rb_dec.logical_error_rate:.4f}/{rp_dec.logical_error_rate:.4f}"
+            )
+            report["policies"][policy_name] = {
+                "sim_only": {
+                    "batched_s": t_batched,
+                    "packed_s": t_packed,
+                    "speedup": sim_speedups[policy_name],
+                    "shots_per_second_batched": shots / t_batched,
+                    "shots_per_second_packed": shots / t_packed,
+                },
+                "decode_on": {
+                    "batched_s": t_batched_dec,
+                    "packed_s": t_packed_dec,
+                    "speedup": t_batched_dec / t_packed_dec,
+                },
+                "decode_on_artifact_warm": {
+                    "cold_start_s": t_cold_start,
+                    "artifact_warm_s": t_art_warm,
+                    "speedup": t_cold_start / t_art_warm,
+                    "logical_error_rate": r_art.logical_error_rate,
+                },
+                "lrcs_per_round": {
+                    "batched": rb_dec.lrcs_per_round,
+                    "packed": rp_dec.lrcs_per_round,
+                },
+                "logical_error_rate": {
+                    "batched": rb_dec.logical_error_rate,
+                    "packed": rp_dec.logical_error_rate,
+                },
+            }
+    clear_shared_graphs()
 
     out_path = os.environ.get(
         "ERASER_REPRO_BENCH_OUT",

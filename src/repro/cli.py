@@ -41,6 +41,7 @@ from repro.analysis.analytic import (
 )
 from repro.analysis.tables import format_table, series_table
 from repro.densitymatrix.study import SingleStabilizerLeakageStudy
+from repro.decoder.artifacts import default_artifact_dir
 from repro.dqlr.protocol import run_dqlr_comparison
 from repro.experiments.executor import SweepExecutor
 from repro.experiments.registry import format_experiment_index, get_experiment
@@ -145,6 +146,16 @@ def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
         help="Shots per scheduled work chunk (default 256); smaller chunks "
         "spread one large configuration across more workers.",
     )
+    parser.add_argument(
+        "--decoder-artifact-dir",
+        type=str,
+        default=default_artifact_dir(),
+        help="Persistent decoder-artifact store: decoding-graph APSP/frame "
+        "tables (and the syndrome->correction LRU) are saved here once and "
+        "mmap-loaded by every process, so repeat runs and pool workers start "
+        "warm.  Tuning knob only: corrections are bit-identical with or "
+        "without it.  Defaults to $ERASER_REPRO_DECODER_ARTIFACT_DIR.",
+    )
 
 
 def _sweep_options(args: argparse.Namespace) -> dict:
@@ -153,6 +164,7 @@ def _sweep_options(args: argparse.Namespace) -> dict:
         cache_dir=args.cache_dir,
         resume=args.resume,
         chunk_shots=args.chunk_shots,
+        decoder_artifact_dir=args.decoder_artifact_dir,
     )
 
 
@@ -318,7 +330,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             "invocations (each run draws fresh entropy); pass --seed to make "
             "the cache and --resume effective"
         )
-    executor = SweepExecutor(jobs=args.jobs, cache_dir=args.cache_dir, resume=args.resume)
+    executor = SweepExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        decoder_artifact_dir=args.decoder_artifact_dir,
+    )
     results = executor.run(plan)
     sweep = PolicySweepResult(list(results))
     print(f"{spec.experiment_id}: {spec.title}")
@@ -353,6 +370,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            decoder_artifact_dir=args.decoder_artifact_dir,
             figures=not args.no_figures,
         )
     except KeyError as error:

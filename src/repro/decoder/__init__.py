@@ -10,7 +10,11 @@ decoder.  The seed implementation is preserved in
 :mod:`repro.decoder.reference` for equivalence testing and benchmarking.
 """
 
-from repro.decoder.graph import DecodingGraph
+from repro.decoder.graph import (
+    DecodingGraph,
+    clear_shared_graphs,
+    shared_decoding_graph,
+)
 from repro.decoder.matching import (
     AutoMatcher,
     GreedyMatcher,
@@ -19,10 +23,17 @@ from repro.decoder.matching import (
 )
 from repro.decoder.union_find import UnionFindMatcher
 from repro.decoder.decoder import DecoderStats, SurfaceCodeDecoder
+from repro.decoder.artifacts import (
+    DecoderArtifactStore,
+    default_artifact_dir,
+    get_artifact_store,
+)
 from repro.decoder.fault_injection import FaultInjector, FaultSignature
 
 __all__ = [
     "DecodingGraph",
+    "shared_decoding_graph",
+    "clear_shared_graphs",
     "AutoMatcher",
     "MwpmMatcher",
     "GreedyMatcher",
@@ -30,6 +41,9 @@ __all__ = [
     "build_matcher",
     "DecoderStats",
     "SurfaceCodeDecoder",
+    "DecoderArtifactStore",
+    "get_artifact_store",
+    "default_artifact_dir",
     "FaultInjector",
     "FaultSignature",
 ]

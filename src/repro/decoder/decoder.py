@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.codes.layout import StabilizerType
 from repro.codes.base import StabilizerCode
-from repro.decoder.graph import DecodingGraph
+from repro.decoder.graph import DecodingGraph, shared_decoding_graph
 from repro.decoder.matching import build_matcher
 
 #: Default bound on the per-decoder syndrome->correction LRU cache.  Keys are
@@ -44,13 +44,28 @@ DEFAULT_CACHE_SIZE = 8192
 
 @dataclass
 class DecoderStats:
-    """Dispatch counters for the layered decode fast path (see module doc)."""
+    """Dispatch counters for the layered decode fast path (see module doc).
+
+    The ``artifact_*``/``*_builds`` counters mirror the decoding graph's
+    artifact-store bookkeeping (:mod:`repro.decoder.artifacts`): how often
+    the APSP/frame-parity tables were loaded from the store versus rebuilt.
+    Shared graphs accumulate over every decoder using them, so after a warm
+    start ``frame_table_builds`` (and ``apsp_builds``) stay ``0`` — the
+    assertion the cross-process reuse tests and the CI smoke job grep for.
+    ``lru_prewarmed`` counts the syndrome->correction entries restored into
+    the LRU at construction.
+    """
 
     shots: int = 0
     empty: int = 0
     dedup_hits: int = 0
     cache_hits: int = 0
     matched: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    apsp_builds: int = 0
+    frame_table_builds: int = 0
+    lru_prewarmed: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -59,6 +74,11 @@ class DecoderStats:
             "dedup_hits": self.dedup_hits,
             "cache_hits": self.cache_hits,
             "matched": self.matched,
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+            "apsp_builds": self.apsp_builds,
+            "frame_table_builds": self.frame_table_builds,
+            "lru_prewarmed": self.lru_prewarmed,
         }
 
 
@@ -83,6 +103,15 @@ class SurfaceCodeDecoder:
             are identical either way.
         cache_size: Bound on the syndrome->correction LRU (``0`` disables
             caching).  Performance-only.
+        artifact_store: Optional
+            :class:`~repro.decoder.artifacts.DecoderArtifactStore` (or a
+            directory's store from
+            :func:`~repro.decoder.artifacts.get_artifact_store`).  When set,
+            the decoding graph loads its APSP/frame-parity tables from the
+            store (memory-mapped — shared physical pages across processes)
+            and the LRU is pre-warmed from, and persisted to
+            (:meth:`save_artifacts`), the store.  Performance-only:
+            corrections are bit-identical with the store on or off.
     """
 
     code: StabilizerCode
@@ -95,16 +124,18 @@ class SurfaceCodeDecoder:
     exact_threshold: int = 40
     dp_threshold: Optional[int] = None
     cache_size: int = DEFAULT_CACHE_SIZE
+    artifact_store: Optional[object] = None
     stats: DecoderStats = field(default_factory=DecoderStats, init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self.graph = DecodingGraph(
-            code=self.code,
-            num_rounds=self.num_rounds,
+        self.graph = shared_decoding_graph(
+            self.code,
+            self.num_rounds,
             stabilizer_type=self.stabilizer_type,
             space_weight=self.space_weight,
             time_weight=self.time_weight,
             diagonal_weight=self.diagonal_weight,
+            artifact_store=self.artifact_store,
         )
         self._matcher = build_matcher(
             self.graph,
@@ -113,6 +144,15 @@ class SurfaceCodeDecoder:
             dp_threshold=self.dp_threshold,
         )
         self._correction_cache: "OrderedDict[bytes, int]" = OrderedDict()
+        if self.artifact_store is not None and self.cache_size > 0:
+            stored = self.artifact_store.load_lru(self.graph, self._lru_identity())
+            if stored:
+                for key, correction in stored.items():
+                    self._correction_cache[key] = int(correction)
+                while len(self._correction_cache) > self.cache_size:
+                    self._correction_cache.popitem(last=False)
+                self.stats.lru_prewarmed = len(self._correction_cache)
+        self._sync_artifact_stats()
         # Static per-decoder lookups, built once instead of per decode call.
         checks = list(self.graph.checks)
         self._support_matrix = np.zeros(
@@ -203,10 +243,64 @@ class SurfaceCodeDecoder:
         return int(data_bits[self._logical_support_indices].sum() % 2)
 
     # ------------------------------------------------------------------
+    # Artifact persistence
+    # ------------------------------------------------------------------
+    def _lru_identity(self) -> Dict[str, object]:
+        """What the persisted LRU's corrections depend on, beyond the graph.
+
+        Corrections differ between matching engines (greedy is approximate,
+        mwpm exact, union-find its own algorithm) and — for ``auto`` — on
+        the exact/greedy switchover size, so those join the identity.
+        ``dp_threshold``, ``cache_size`` and the blossom implementation do
+        *not*: corrections are bit-identical for any value, so differently
+        tuned decoders share one persisted cache.
+        """
+        method = self.method.strip().lower()
+        if method in ("mwpm", "exact", "blossom"):
+            method = "mwpm"
+        elif method in ("union-find", "unionfind", "uf"):
+            method = "union-find"
+        return {
+            "method": method,
+            "exact_threshold": self.exact_threshold if method == "auto" else None,
+        }
+
+    def _sync_artifact_stats(self) -> None:
+        """Mirror the (possibly shared) graph's artifact counters into stats."""
+        graph = self.graph
+        self.stats.artifact_hits = graph.artifact_hits
+        self.stats.artifact_misses = graph.artifact_misses
+        self.stats.apsp_builds = graph.apsp_builds
+        self.stats.frame_table_builds = graph.frame_table_builds
+
+    def save_artifacts(self) -> None:
+        """Persist the syndrome->correction LRU to the artifact store.
+
+        Merge-on-save: the store combines these entries with whatever an
+        earlier run (or a concurrent worker) already persisted, bounded by
+        ``cache_size``.  A no-op without an artifact store.  The graph
+        tables themselves are persisted automatically the first time they
+        are built (see :mod:`repro.decoder.matching`).
+        """
+        if self.artifact_store is None:
+            return
+        if self.cache_size > 0 and self._correction_cache:
+            self.artifact_store.save_lru(
+                self.graph,
+                self._lru_identity(),
+                self._correction_cache,
+                bound=self.cache_size,
+            )
+
+    # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
-        """Drop the correction LRU and the graph's shortest-path caches."""
+        """Drop the correction LRU and the graph's shortest-path caches.
+
+        Also releases any artifact-store ``numpy.memmap`` handles held by
+        the graph, so mapped store files can be reclaimed.
+        """
         self._correction_cache.clear()
         self.graph.clear_caches()
 
@@ -255,6 +349,7 @@ class SurfaceCodeDecoder:
                 if len(cache) > self.cache_size:
                     cache.popitem(last=False)
         corrections[nonempty] = uniq_corrections[inverse]
+        self._sync_artifact_stats()
         return corrections
 
     def predict_correction(self, detectors: np.ndarray) -> int:

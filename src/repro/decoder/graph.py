@@ -20,8 +20,9 @@ induces.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -44,6 +45,14 @@ class DecodingGraph:
         time_weight: Edge weight for measurement errors.
         diagonal_weight: Edge weight for hook-like space-time errors; ``None``
             disables diagonal edges.
+        artifact_store: Optional
+            :class:`~repro.decoder.artifacts.DecoderArtifactStore`.  When
+            set, the matching layer loads the graph's APSP/frame-parity
+            tables from the store (memory-mapped, shared across processes)
+            instead of rebuilding them, and persists them after a cold
+            build.  Performance-only: corrections are bit-identical either
+            way.  The ``artifact_hits``/``artifact_misses``/``apsp_builds``/
+            ``frame_table_builds`` counters record what actually happened.
     """
 
     code: StabilizerCode
@@ -52,10 +61,17 @@ class DecodingGraph:
     space_weight: float = 1.0
     time_weight: float = 1.0
     diagonal_weight: float = None
+    artifact_store: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
             raise ValueError("num_rounds must be >= 1")
+        #: Artifact-store dispatch counters, maintained by
+        #: ``repro.decoder.matching`` and surfaced through ``DecoderStats``.
+        self.artifact_hits = 0
+        self.artifact_misses = 0
+        self.apsp_builds = 0
+        self.frame_table_builds = 0
         self._stabs = [
             s for s in self.code.stabilizers if s.stype is self.stabilizer_type
         ]
@@ -236,6 +252,10 @@ class DecodingGraph:
         Long-lived processes that decode many distinct graph shapes can call
         this to release the ~13 bytes/node**2 held by a cached graph (see
         ``repro.decoder.matching._APSP_NODE_LIMIT``) once a decoder is done.
+        When the tables came from an artifact store they are ``numpy.memmap``
+        views; dropping them here releases the underlying file handles, so
+        the mapped store files can be deleted or replaced even on platforms
+        that lock mapped files (Windows-style semantics).
         """
         for attr in ("_apsp_cache", "_frame_parity_cache"):
             if hasattr(self, attr):
@@ -257,3 +277,84 @@ class DecodingGraph:
             raise ValueError(f"detector matrix must have shape {expected}, got {matrix.shape}")
         layers, locals_ = np.nonzero(matrix)
         return layers * self._num_checks + locals_
+
+
+# ----------------------------------------------------------------------
+# In-process graph dedup
+# ----------------------------------------------------------------------
+#: Recently shared graphs, keyed by the construction parameters that pin the
+#: graph structure.  Bounded: evicted graphs drop their cached tables (and
+#: any mmap handles) so the memory/file handles are reclaimable.
+_SHARED_GRAPHS: "OrderedDict[tuple, DecodingGraph]" = OrderedDict()
+
+#: How many distinct graph shapes stay shared at once.  A sweep touches one
+#: shape per (family, distance, rounds) point; eight covers every grid in
+#: the paper with room to spare while bounding worst-case table memory.
+_SHARED_GRAPH_LIMIT = 8
+
+
+def shared_decoding_graph(
+    code: StabilizerCode,
+    num_rounds: int,
+    stabilizer_type: StabilizerType = StabilizerType.Z,
+    space_weight: float = 1.0,
+    time_weight: float = 1.0,
+    diagonal_weight: Optional[float] = None,
+    artifact_store: Optional[object] = None,
+) -> DecodingGraph:
+    """One :class:`DecodingGraph` per construction signature, per process.
+
+    Jobs in one executor run with the same (code family, distance, rounds,
+    weights) used to rebuild identical graphs — and their APSP/frame tables
+    — once per decoder.  Code construction is deterministic per (family,
+    distance), so the signature below pins the graph bit-for-bit and every
+    same-shape decoder can share a single instance and its caches.  Codes
+    without a registered family fall back to a private graph.
+    """
+    family = getattr(code, "family", None)
+    if family is None or family == "abstract":
+        return DecodingGraph(
+            code=code,
+            num_rounds=num_rounds,
+            stabilizer_type=stabilizer_type,
+            space_weight=space_weight,
+            time_weight=time_weight,
+            diagonal_weight=diagonal_weight,
+            artifact_store=artifact_store,
+        )
+    store_key = None if artifact_store is None else str(getattr(artifact_store, "root", artifact_store))
+    key = (
+        family,
+        int(code.distance),
+        int(num_rounds),
+        stabilizer_type,
+        float(space_weight),
+        float(time_weight),
+        None if diagonal_weight is None else float(diagonal_weight),
+        store_key,
+    )
+    graph = _SHARED_GRAPHS.get(key)
+    if graph is None:
+        graph = DecodingGraph(
+            code=code,
+            num_rounds=num_rounds,
+            stabilizer_type=stabilizer_type,
+            space_weight=space_weight,
+            time_weight=time_weight,
+            diagonal_weight=diagonal_weight,
+            artifact_store=artifact_store,
+        )
+        _SHARED_GRAPHS[key] = graph
+        while len(_SHARED_GRAPHS) > _SHARED_GRAPH_LIMIT:
+            _, evicted = _SHARED_GRAPHS.popitem(last=False)
+            evicted.clear_caches()
+    else:
+        _SHARED_GRAPHS.move_to_end(key)
+    return graph
+
+
+def clear_shared_graphs() -> None:
+    """Drop every shared graph (and its cached tables / mmap handles)."""
+    for graph in _SHARED_GRAPHS.values():
+        graph.clear_caches()
+    _SHARED_GRAPHS.clear()

@@ -145,14 +145,35 @@ def _all_pairs(graph: DecodingGraph):
     detectors; precomputing the full matrix turns the per-shot work into a
     row slice.  Per-source Dijkstra is deterministic and independent of the
     source set, so cached rows are identical to a direct per-shot call.
+
+    When the graph carries an artifact store
+    (:mod:`repro.decoder.artifacts`), the matrices are first looked up
+    there: a hit installs memory-mapped views of the persisted tables (APSP
+    *and* the frame-parity table, which travel together) instead of
+    recomputing, so a warm store eliminates the whole build.  The tables
+    are deterministic functions of the graph identity the store hashes, so
+    loaded and computed tables are bit-identical.
     """
     cached = getattr(graph, "_apsp_cache", None)
     if cached is None:
+        store = getattr(graph, "artifact_store", None)
+        if store is not None:
+            loaded = store.load_graph_tables(graph)
+            if loaded is not None:
+                distances, predecessors, frames = loaded
+                graph.artifact_hits += 1
+                cached = (distances, predecessors)
+                graph._apsp_cache = cached
+                if getattr(graph, "_frame_parity_cache", None) is None:
+                    graph._frame_parity_cache = frames
+                return cached
+            graph.artifact_misses += 1
         distances, predecessors = dijkstra(
             graph.adjacency,
             directed=False,
             return_predecessors=True,
         )
+        graph.apsp_builds += 1
         cached = (distances, predecessors)
         graph._apsp_cache = cached
     return cached
@@ -199,6 +220,12 @@ def _frame_parity_table(graph: DecodingGraph) -> Optional[np.ndarray]:
     Returns ``None`` (and caches the refusal) when the graph has
     non-positive edge weights, for which distance-ordered propagation is not
     well defined; path frames then fall back to predecessor walks.
+
+    With an artifact store attached, a cold build persists the freshly
+    computed APSP matrices and frame table together (atomically, via the
+    store), so every later process mapping the same graph identity starts
+    warm.  The non-positive-weight refusal is never persisted — such graphs
+    have no table to share.
     """
     cached = getattr(graph, "_frame_parity_cache", None)
     if cached is None:
@@ -206,7 +233,15 @@ def _frame_parity_table(graph: DecodingGraph) -> Optional[np.ndarray]:
             cached = False
         else:
             distances, predecessors = _all_pairs(graph)
-            cached = _frame_parity_rows(graph, distances, predecessors)
+            # An artifact hit inside _all_pairs installs the frame table
+            # too; re-check before paying for the propagation.
+            cached = getattr(graph, "_frame_parity_cache", None)
+            if cached is None:
+                cached = _frame_parity_rows(graph, distances, predecessors)
+                graph.frame_table_builds += 1
+                store = getattr(graph, "artifact_store", None)
+                if store is not None:
+                    store.save_graph_tables(graph, distances, predecessors, cached)
         graph._frame_parity_cache = cached
     return None if cached is False else cached
 

@@ -117,6 +117,7 @@ def dqlr_comparison_plan(
     chunk_shots: int = None,
     decoder_dp_threshold: int = None,
     decoder_cache_size: int = None,
+    decoder_artifact_dir: str = None,
     code_family: str = None,
     noise_profile=None,
 ) -> SweepPlan:
@@ -136,6 +137,7 @@ def dqlr_comparison_plan(
             batch_size=batch_size,
             decoder_dp_threshold=decoder_dp_threshold,
             decoder_cache_size=decoder_cache_size,
+            decoder_artifact_dir=decoder_artifact_dir,
             code_family=code_family,
             noise_profile=noise_profile,
         )
@@ -163,6 +165,7 @@ def run_dqlr_comparison(
     executor: SweepExecutor = None,
     decoder_dp_threshold: int = None,
     decoder_cache_size: int = None,
+    decoder_artifact_dir: str = None,
     code_family: str = None,
     noise_profile=None,
 ) -> PolicySweepResult:
@@ -190,10 +193,16 @@ def run_dqlr_comparison(
         chunk_shots=chunk_shots,
         decoder_dp_threshold=decoder_dp_threshold,
         decoder_cache_size=decoder_cache_size,
+        decoder_artifact_dir=decoder_artifact_dir,
         code_family=code_family,
         noise_profile=noise_profile,
     )
     if executor is None:
         warn_unseeded_cache(seed, cache_dir, resume)
-        executor = SweepExecutor(jobs=jobs, cache_dir=cache_dir, resume=resume)
+        executor = SweepExecutor(
+            jobs=jobs,
+            cache_dir=cache_dir,
+            resume=resume,
+            decoder_artifact_dir=decoder_artifact_dir,
+        )
     return PolicySweepResult(list(executor.run(plan)))

@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -66,6 +66,9 @@ class SweepStats:
     jobs_run: int = 0
     chunks_run: int = 0
     elapsed_seconds: float = 0.0
+    #: Decoding-graph artifact entries built up-front before fan-out, or
+    #: ``None`` when no pending job used an artifact store.
+    artifacts_prebuilt: Optional[int] = None
 
     def merge(self, other: "SweepStats") -> "SweepStats":
         """Accumulate another run's statistics into this one (returns self)."""
@@ -74,6 +77,10 @@ class SweepStats:
         self.jobs_run += other.jobs_run
         self.chunks_run += other.chunks_run
         self.elapsed_seconds += other.elapsed_seconds
+        if other.artifacts_prebuilt is not None:
+            self.artifacts_prebuilt = (
+                self.artifacts_prebuilt or 0
+            ) + other.artifacts_prebuilt
         return self
 
     def to_dict(self) -> Dict[str, object]:
@@ -84,14 +91,18 @@ class SweepStats:
             "jobs_run": self.jobs_run,
             "chunks_run": self.chunks_run,
             "elapsed_seconds": self.elapsed_seconds,
+            "artifacts_prebuilt": self.artifacts_prebuilt,
         }
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.jobs_total} job(s): {self.cache_hits} cached, "
             f"{self.jobs_run} executed ({self.chunks_run} chunk(s)) "
             f"in {self.elapsed_seconds:.2f}s"
         )
+        if self.artifacts_prebuilt is not None:
+            text += f", {self.artifacts_prebuilt} decoder artifact(s) prebuilt"
+        return text
 
 
 class SweepExecutor:
@@ -107,6 +118,13 @@ class SweepExecutor:
             ``cache_dir`` is not given — the switch that lets an interrupted
             invocation pick up where it left off.
         store: Pre-built :class:`ResultStore` (overrides ``cache_dir``).
+        decoder_artifact_dir: Persistent decoder-artifact store directory
+            (:mod:`repro.decoder.artifacts`).  When set, every decode job in
+            the plan inherits it (jobs that already carry their own keep it),
+            and the executor pre-builds each unique decoding graph's tables
+            *once* before fan-out so worker processes start artifact-warm
+            instead of rebuilding APSP/frame tables N times.  Perf-only: job
+            cache identity is unchanged.
 
     After :meth:`run`, :attr:`last_stats` reports cache hits and the number of
     chunks actually simulated (``0`` on a fully-cached rerun).
@@ -118,6 +136,7 @@ class SweepExecutor:
         cache_dir: Optional[str] = None,
         resume: bool = False,
         store: Optional[ResultStore] = None,
+        decoder_artifact_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -126,6 +145,7 @@ class SweepExecutor:
             root = cache_dir if cache_dir else (default_cache_dir() if resume else None)
             store = ResultStore(root) if root else None
         self.store = store
+        self.decoder_artifact_dir = decoder_artifact_dir
         self.last_stats = SweepStats()
 
     # ------------------------------------------------------------------
@@ -136,6 +156,15 @@ class SweepExecutor:
     def run(self, plan: SweepPlan) -> List[MemoryExperimentResult]:
         """Execute ``plan`` and return results in plan order."""
         started = time.perf_counter()
+        if self.decoder_artifact_dir:
+            plan = SweepPlan(
+                [
+                    job
+                    if job.decoder_artifact_dir
+                    else replace(job, decoder_artifact_dir=self.decoder_artifact_dir)
+                    for job in plan.jobs
+                ]
+            )
         stats = SweepStats(jobs_total=len(plan.jobs))
         results: List[Optional[MemoryExperimentResult]] = [None] * len(plan.jobs)
 
@@ -147,6 +176,19 @@ class SweepExecutor:
                 stats.cache_hits += 1
             else:
                 pending.append(index)
+
+        artifact_jobs = [
+            plan.jobs[index]
+            for index in pending
+            if plan.jobs[index].decoder_artifact_dir and plan.jobs[index].decode
+        ]
+        if artifact_jobs:
+            # Build each unique decoding graph's APSP/frame tables once, here,
+            # so the fan-out below (including every pool worker) loads them
+            # back as shared memory maps instead of recomputing per process.
+            from repro.decoder.artifacts import prebuild_job_artifacts
+
+            stats.artifacts_prebuilt = prebuild_job_artifacts(artifact_jobs)
 
         tasks: List[Tuple[int, int]] = [
             (job_index, chunk)

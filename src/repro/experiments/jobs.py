@@ -128,6 +128,11 @@ class SweepJob:
     #: tuned differently still address the same cache entry.
     decoder_dp_threshold: Optional[int] = None
     decoder_cache_size: Optional[int] = None
+    #: Persistent decoder-artifact store directory
+    #: (``repro.decoder.artifacts``).  Excluded from :meth:`config_dict` for
+    #: the same reason: the store only changes where the decoding-graph
+    #: tables come from, never a single correction.
+    decoder_artifact_dir: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Identity
@@ -226,6 +231,7 @@ class SweepJob:
             decoder_method=self.decoder_method,
             decoder_dp_threshold=self.decoder_dp_threshold,
             decoder_cache_size=self.decoder_cache_size,
+            decoder_artifact_dir=self.decoder_artifact_dir,
             seed=rng,
             engine=self.engine,
             batch_size=self.batch_size,

@@ -119,6 +119,12 @@ class MemoryExperiment:
             any value.
         decoder_cache_size: Bound on the decoder's syndrome->correction LRU
             (``None`` = library default, ``0`` disables).  Performance-only.
+        decoder_artifact_dir: Directory of a persistent decoder-artifact
+            store (:mod:`repro.decoder.artifacts`).  The decoder loads its
+            decoding-graph tables from there (memory-mapped, shared across
+            processes) instead of rebuilding them, and persists its
+            syndrome->correction cache at the end of :meth:`run`.
+            Performance-only: corrections are bit-identical either way.
         seed: Seed or generator for reproducibility.
         engine: ``"packed"`` (bit-packed word-parallel execution, 64 shots
             per uint64 word), ``"batched"`` (vectorised boolean-array
@@ -148,6 +154,7 @@ class MemoryExperiment:
         decoder_method: str = "auto",
         decoder_dp_threshold: Optional[int] = None,
         decoder_cache_size: Optional[int] = None,
+        decoder_artifact_dir: Optional[str] = None,
         seed: RngLike = None,
         engine: str = "auto",
         batch_size: Optional[int] = None,
@@ -204,6 +211,14 @@ class MemoryExperiment:
             decoder_kwargs = {}
             if decoder_cache_size is not None:
                 decoder_kwargs["cache_size"] = decoder_cache_size
+            if decoder_artifact_dir:
+                # One shared store instance per resolved path, so every
+                # experiment in this process maps the same entries.
+                from repro.decoder.artifacts import get_artifact_store
+
+                decoder_kwargs["artifact_store"] = get_artifact_store(
+                    decoder_artifact_dir
+                )
             self.decoder = SurfaceCodeDecoder(
                 code=code,
                 num_rounds=rounds,
@@ -488,6 +503,11 @@ class MemoryExperiment:
         lpr_total /= shots
         lpr_data /= shots
         lpr_parity /= shots
+        if self.decoder is not None:
+            # Persist the syndrome->correction cache (merge-on-save) so the
+            # next process decoding this graph pre-warms from it.  No-op
+            # without an artifact store.
+            self.decoder.save_artifacts()
         return MemoryExperimentResult(
             policy=self.policy.name,
             distance=self.code.distance,

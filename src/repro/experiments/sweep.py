@@ -48,11 +48,17 @@ def _executor(
     resume: bool,
     executor: Optional[SweepExecutor],
     seed: RngLike = None,
+    decoder_artifact_dir: Optional[str] = None,
 ) -> SweepExecutor:
     if executor is not None:
         return executor
     warn_unseeded_cache(seed, cache_dir, resume)
-    return SweepExecutor(jobs=jobs, cache_dir=cache_dir, resume=resume)
+    return SweepExecutor(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        resume=resume,
+        decoder_artifact_dir=decoder_artifact_dir,
+    )
 
 
 def _config(
@@ -71,6 +77,7 @@ def _config(
     batch_size: Optional[int] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    decoder_artifact_dir: Optional[str] = None,
     code_family: Optional[str] = None,
     noise_profile=None,
 ) -> Dict[str, object]:
@@ -91,6 +98,7 @@ def _config(
         batch_size=batch_size,
         decoder_dp_threshold=decoder_dp_threshold,
         decoder_cache_size=decoder_cache_size,
+        decoder_artifact_dir=decoder_artifact_dir,
         code_family=code_family,
         noise_profile=noise_profile,
     )
@@ -114,6 +122,7 @@ def run_single_plan(
     chunk_shots: Optional[int] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    decoder_artifact_dir: Optional[str] = None,
     code_family: Optional[str] = None,
     noise_profile=None,
 ) -> SweepPlan:
@@ -136,6 +145,7 @@ def run_single_plan(
                 batch_size=batch_size,
                 decoder_dp_threshold=decoder_dp_threshold,
                 decoder_cache_size=decoder_cache_size,
+                decoder_artifact_dir=decoder_artifact_dir,
                 code_family=code_family,
                 noise_profile=noise_profile,
             )
@@ -167,6 +177,7 @@ def run_single(
     executor: Optional[SweepExecutor] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    decoder_artifact_dir: Optional[str] = None,
     code_family: Optional[str] = None,
     noise_profile=None,
 ) -> MemoryExperimentResult:
@@ -189,10 +200,13 @@ def run_single(
         chunk_shots=chunk_shots,
         decoder_dp_threshold=decoder_dp_threshold,
         decoder_cache_size=decoder_cache_size,
+        decoder_artifact_dir=decoder_artifact_dir,
         code_family=code_family,
         noise_profile=noise_profile,
     )
-    return _executor(jobs, cache_dir, resume, executor, seed).run(plan)[0]
+    return _executor(
+        jobs, cache_dir, resume, executor, seed, decoder_artifact_dir
+    ).run(plan)[0]
 
 
 def compare_policies_plan(
@@ -212,6 +226,7 @@ def compare_policies_plan(
     chunk_shots: Optional[int] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    decoder_artifact_dir: Optional[str] = None,
     code_family: Optional[str] = None,
     noise_profile=None,
 ) -> SweepPlan:
@@ -232,6 +247,7 @@ def compare_policies_plan(
             batch_size=batch_size,
             decoder_dp_threshold=decoder_dp_threshold,
             decoder_cache_size=decoder_cache_size,
+            decoder_artifact_dir=decoder_artifact_dir,
             code_family=code_family,
             noise_profile=noise_profile,
         )
@@ -262,6 +278,7 @@ def compare_policies(
     executor: Optional[SweepExecutor] = None,
     decoder_dp_threshold: Optional[int] = None,
     decoder_cache_size: Optional[int] = None,
+    decoder_artifact_dir: Optional[str] = None,
     code_family: Optional[str] = None,
     noise_profile=None,
 ) -> PolicySweepResult:
@@ -283,10 +300,13 @@ def compare_policies(
         chunk_shots=chunk_shots,
         decoder_dp_threshold=decoder_dp_threshold,
         decoder_cache_size=decoder_cache_size,
+        decoder_artifact_dir=decoder_artifact_dir,
         code_family=code_family,
         noise_profile=noise_profile,
     )
-    results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
+    results = _executor(
+        jobs, cache_dir, resume, executor, seed, decoder_artifact_dir
+    ).run(plan)
     return PolicySweepResult(list(results))
 
 
@@ -352,6 +372,7 @@ def lpr_time_series(
     resume: bool = False,
     chunk_shots: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
+    decoder_artifact_dir: Optional[str] = None,
     code_family: Optional[str] = None,
     noise_profile=None,
 ) -> Dict[str, np.ndarray]:
@@ -375,7 +396,11 @@ def lpr_time_series(
         code_family=code_family,
         noise_profile=noise_profile,
     )
-    results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
+    # decode=False, so the artifact dir only matters if an executor reuses it;
+    # the prebuild step skips non-decode jobs either way.
+    results = _executor(
+        jobs, cache_dir, resume, executor, seed, decoder_artifact_dir
+    ).run(plan)
     return {result.policy: result.lpr_total for result in results}
 
 
@@ -464,6 +489,7 @@ def ler_vs_cycles(
     resume: bool = False,
     chunk_shots: Optional[int] = None,
     executor: Optional[SweepExecutor] = None,
+    decoder_artifact_dir: Optional[str] = None,
 ) -> Dict[str, Dict[int, float]]:
     """LER as a function of the number of QEC cycles (Figures 1(c), 2(c), 6)."""
     plan = ler_vs_cycles_plan(
@@ -479,7 +505,9 @@ def ler_vs_cycles(
         batch_size=batch_size,
         chunk_shots=chunk_shots,
     )
-    results = _executor(jobs, cache_dir, resume, executor, seed).run(plan)
+    results = _executor(
+        jobs, cache_dir, resume, executor, seed, decoder_artifact_dir
+    ).run(plan)
     table: Dict[str, Dict[int, float]] = {}
     for result in results:
         cycles = result.rounds // result.distance

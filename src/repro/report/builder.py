@@ -71,6 +71,9 @@ class ReportBuilder:
         chunk_shots: Executor chunk granularity (``None`` = default).
         jobs / cache_dir / resume: Passed to :class:`SweepExecutor` — the
             same orchestration knobs every sweep command shares.
+        decoder_artifact_dir: Persistent decoder-artifact store passed to the
+            executor; decode sweeps then load their decoding-graph tables via
+            mmap instead of rebuilding them per process.
         figures: Attempt PNG rendering (skipped gracefully without
             matplotlib).
         executor: Pre-built executor (overrides jobs/cache_dir/resume).
@@ -87,6 +90,7 @@ class ReportBuilder:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         resume: bool = False,
+        decoder_artifact_dir: Optional[str] = None,
         figures: bool = True,
         executor: Optional[SweepExecutor] = None,
     ) -> None:
@@ -99,11 +103,20 @@ class ReportBuilder:
         self.figures = figures
         if executor is None:
             if cache_dir or resume:
-                executor = SweepExecutor(jobs=jobs, cache_dir=cache_dir, resume=resume)
+                executor = SweepExecutor(
+                    jobs=jobs,
+                    cache_dir=cache_dir,
+                    resume=resume,
+                    decoder_artifact_dir=decoder_artifact_dir,
+                )
             else:
                 # Even without an on-disk cache, identical jobs shared between
                 # figures (fig14/table4, fig5/fig15/fig16) should simulate once.
-                executor = SweepExecutor(jobs=jobs, store=InMemoryResultStore())
+                executor = SweepExecutor(
+                    jobs=jobs,
+                    store=InMemoryResultStore(),
+                    decoder_artifact_dir=decoder_artifact_dir,
+                )
         self.executor = executor
 
     # ------------------------------------------------------------------
