@@ -16,6 +16,8 @@ Examples::
     eraser-repro experiments
     eraser-repro experiments run fig14 --jobs 4 --cache-dir sweep-cache/
     eraser-repro report --quick --jobs 4 --cache-dir sweep-cache/
+    eraser-repro serve --workers 4 --cache-dir sweep-cache/
+    eraser-repro submit fig14 --seed 7 --service-url http://127.0.0.1:7917
 
 ``report`` renders every figure and table of the paper into ``report/``
 (``index.md`` + CSV, and PNG when the optional ``[report]`` extra installs
@@ -26,6 +28,12 @@ are identical to the serial run), ``--cache-dir DIR`` (content-addressed
 result cache — rerunning a cached configuration performs no simulation) and
 ``--resume`` (reuse the default cache directory so an interrupted sweep
 continues where it stopped).
+
+``serve`` starts the resident sweep service (:mod:`repro.service`): a
+supervised worker pool with a shared sharded result cache and live
+telemetry.  ``submit`` sends any registered experiment's sweep plan to that
+service and waits for the (bit-identical) results; ``report
+--service-url URL`` renders the whole report through it.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.dqlr.protocol import run_dqlr_comparison
 from repro.experiments.executor import SweepExecutor
 from repro.experiments.registry import format_experiment_index, get_experiment
 from repro.experiments.results import PolicySweepResult
+from repro.experiments.store import DEFAULT_SERVICE_SHARDS, default_cache_dir
 from repro.experiments.sweep import compare_policies, lpr_time_series
 from repro.codes import CODE_FAMILIES
 from repro.hardware.cost_model import FpgaCostModel
@@ -352,6 +361,57 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve_forever
+
+    serve_forever(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        shards=args.shards,
+        workers=args.workers,
+        decoder_artifact_dir=args.decoder_artifact_dir,
+        address_file=args.address_file,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError, SweepServiceClient
+
+    try:
+        spec = get_experiment(args.experiment_id)
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    if not spec.has_plan:
+        print(f"{spec.experiment_id} is not a Monte-Carlo sweep; nothing to submit")
+        return 1
+    plan = spec.make_plan(
+        shots=args.shots,
+        max_distance=args.max_distance,
+        seed=args.seed,
+        chunk_shots=args.chunk_shots,
+    )
+    client = SweepServiceClient(args.service_url, timeout=args.timeout)
+    try:
+        job_id = client.submit(plan)
+        print(f"submitted {spec.experiment_id} as {job_id}")
+        if args.no_wait:
+            return 0
+        client.wait(job_id, poll=args.poll)
+        results, stats = client.results(job_id)
+    except ServiceError as error:
+        print(f"error: {error}")
+        return 1
+    sweep = PolicySweepResult(list(results))
+    print()
+    print(sweep.format_table())
+    print()
+    print(stats.summary())
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.report import QUICK_MAX_DISTANCE, QUICK_SHOTS, ReportBuilder
 
@@ -372,6 +432,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             resume=args.resume,
             decoder_artifact_dir=args.decoder_artifact_dir,
             figures=not args.no_figures,
+            service_url=args.service_url,
         )
     except KeyError as error:
         print(error.args[0])
@@ -507,8 +568,99 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="Skip PNG rendering even when matplotlib is installed.",
     )
+    report.add_argument(
+        "--service-url",
+        type=str,
+        default=None,
+        help="Run every sweep through a running 'eraser-repro serve' instance "
+        "at this URL instead of executing in-process.",
+    )
     _add_orchestration_args(report)
     report.set_defaults(func=_cmd_report)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="Run the resident sweep service (async scheduler + HTTP API + telemetry)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7917,
+        help="Port to listen on (0 = pick a free port and print it).",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="Supervised worker processes executing sweep chunks.",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=str,
+        default=default_cache_dir(),
+        help="Sharded content-addressed result store shared by every "
+        "submission (flat-layout entries are migrated into shards on start).",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=DEFAULT_SERVICE_SHARDS,
+        help="Shard directories for the result store (existing stores keep "
+        "their recorded shard count).",
+    )
+    serve.add_argument(
+        "--decoder-artifact-dir",
+        type=str,
+        default=default_artifact_dir(),
+        help="Persistent decoder-artifact store inherited by every submitted "
+        "job (see the sweep subcommands' flag of the same name).",
+    )
+    serve.add_argument(
+        "--address-file",
+        type=str,
+        default=None,
+        help="Write the bound URL here once listening (useful with --port 0).",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="Submit a registered experiment's sweep plan to a running service",
+    )
+    submit.add_argument(
+        "experiment_id",
+        help="Experiment to run (e.g. fig14); see 'experiments list'.",
+    )
+    submit.add_argument("--shots", type=int, default=200)
+    submit.add_argument("--max-distance", type=int, default=5)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--chunk-shots", type=int, default=None)
+    submit.add_argument(
+        "--service-url",
+        type=str,
+        default=None,
+        help="Service base URL (default $ERASER_REPRO_SERVICE_URL or "
+        "http://127.0.0.1:7917).",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="Per-request HTTP timeout in seconds.",
+    )
+    submit.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="Status poll interval while waiting, in seconds.",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="Print the submission id and return without waiting for results.",
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     return parser
 

@@ -6,7 +6,13 @@ and the job/executor/store layers that run every figure's sweep cached and
 in parallel.
 """
 
-from repro.experiments.metrics import SpeculationCounts, binomial_stderr, wilson_interval
+from repro.experiments.metrics import (
+    MetricsRegistry,
+    SpeculationCounts,
+    binomial_stderr,
+    canonical_metrics_json,
+    wilson_interval,
+)
 from repro.experiments.results import MemoryExperimentResult, PolicySweepResult
 from repro.experiments.memory import MemoryExperiment
 from repro.experiments.jobs import SweepJob, SweepPlan, merge_chunk_results
@@ -24,6 +30,8 @@ from repro.experiments.sweep import (
 )
 
 __all__ = [
+    "MetricsRegistry",
+    "canonical_metrics_json",
     "SpeculationCounts",
     "binomial_stderr",
     "wilson_interval",

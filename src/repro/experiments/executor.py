@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.experiments.jobs import SweepJob, SweepPlan, merge_chunk_results
+from repro.experiments.metrics import MetricsRegistry
 from repro.experiments.results import MemoryExperimentResult
 from repro.experiments.store import ResultStore, default_cache_dir
 
@@ -33,6 +34,26 @@ from repro.experiments.store import ResultStore, default_cache_dir
 def _execute_chunk(job: SweepJob, index: int) -> MemoryExperimentResult:
     """Worker entry point (module-level so it pickles under every backend)."""
     return job.run_chunk(index)
+
+
+def execute_chunk_with_stats(
+    job: SweepJob, index: int
+) -> Tuple[MemoryExperimentResult, Optional[Dict[str, int]]]:
+    """Worker entry point that also surfaces the decoder's dispatch counters.
+
+    The sweep service uses this variant so its telemetry layer can merge
+    every worker's :class:`~repro.decoder.decoder.DecoderStats` (cache/LRU
+    hits, artifact loads, APSP rebuilds) into the shared
+    :class:`~repro.experiments.metrics.MetricsRegistry`.
+    """
+    shots = job.chunk_sizes()[index]
+    rng = np.random.default_rng(job.chunk_seed(index))
+    experiment = job.build_experiment(rng)
+    result = experiment.run(shots)
+    decoder_stats = (
+        experiment.decoder.stats.as_dict() if experiment.decoder is not None else None
+    )
+    return result, decoder_stats
 
 
 def warn_unseeded_cache(seed, cache_dir, resume: bool) -> None:
@@ -94,6 +115,19 @@ class SweepStats:
             "artifacts_prebuilt": self.artifacts_prebuilt,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SweepStats":
+        """Rebuild stats from :meth:`to_dict` (the service wire format)."""
+        artifacts = payload.get("artifacts_prebuilt")
+        return cls(
+            jobs_total=int(payload.get("jobs_total", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            jobs_run=int(payload.get("jobs_run", 0)),
+            chunks_run=int(payload.get("chunks_run", 0)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            artifacts_prebuilt=None if artifacts is None else int(artifacts),
+        )
+
     def summary(self) -> str:
         text = (
             f"{self.jobs_total} job(s): {self.cache_hits} cached, "
@@ -103,6 +137,150 @@ class SweepStats:
         if self.artifacts_prebuilt is not None:
             text += f", {self.artifacts_prebuilt} decoder artifact(s) prebuilt"
         return text
+
+
+def apply_decoder_artifact_dir(plan: SweepPlan, artifact_dir: Optional[str]) -> SweepPlan:
+    """Give every job of ``plan`` the persistent decoder-artifact directory.
+
+    Jobs that already carry their own directory keep it; ``None`` returns the
+    plan unchanged.  Shared by the in-process executor and the sweep service.
+    """
+    if not artifact_dir:
+        return plan
+    return SweepPlan(
+        [
+            job if job.decoder_artifact_dir else replace(job, decoder_artifact_dir=artifact_dir)
+            for job in plan.jobs
+        ]
+    )
+
+
+class PlanExecution:
+    """Chunk-granular bookkeeping for one plan — the shared execution core.
+
+    Both sweep backends drive this object: the in-process
+    :class:`SweepExecutor` feeds it chunk results from a loop or a
+    ``ProcessPoolExecutor``, and the service scheduler
+    (:mod:`repro.service.scheduler`) feeds it from its supervised worker
+    pool.  Construction performs the cache lookup (cached jobs never produce
+    tasks); :meth:`record_chunk` merges and persists each job the moment its
+    last chunk lands, which is what makes interrupted sweeps resumable at
+    job granularity.  Because chunk random streams are position-keyed
+    (Section 6 seed discipline, see :mod:`repro.experiments.jobs`), the
+    merged statistics are bit-identical no matter which backend, worker
+    interleaving, or crash/retry history produced the chunks.
+
+    When a :class:`~repro.experiments.metrics.MetricsRegistry` is supplied,
+    cache and execution traffic is counted into it (``chunks_executed``,
+    ``chunks_cached``, ``sweep_jobs_completed``, ``sweep_jobs_cached``) so
+    that a live telemetry snapshot reconciles exactly with
+    :attr:`stats`: chunks executed plus chunks cached equals the plan's
+    total chunk count.
+    """
+
+    def __init__(
+        self,
+        plan: SweepPlan,
+        store: Optional[ResultStore] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.plan = plan
+        self.store = store
+        self.metrics = metrics
+        self.stats = SweepStats(jobs_total=len(plan.jobs))
+        self.results: List[Optional[MemoryExperimentResult]] = [None] * len(plan.jobs)
+        self.pending: List[int] = []
+        self._chunk_results: Dict[Tuple[int, int], MemoryExperimentResult] = {}
+        self._remaining: Dict[int, int] = {}
+        self._cached_chunks = 0
+        for index, job in enumerate(plan.jobs):
+            cached = store.load(job.cache_key()) if store is not None else None
+            if cached is not None:
+                self.results[index] = cached
+                self.stats.cache_hits += 1
+                self._cached_chunks += job.num_chunks
+                if metrics is not None:
+                    metrics.counter("chunks_cached").inc(job.num_chunks)
+                    metrics.counter("sweep_jobs_cached").inc()
+            else:
+                self.pending.append(index)
+                self._remaining[index] = job.num_chunks
+        self.stats.jobs_run = len(self.pending)
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> List[Tuple[int, int]]:
+        """Every (job index, chunk index) pair that still needs simulation."""
+        return [
+            (job_index, chunk)
+            for job_index in self.pending
+            for chunk in range(self.plan.jobs[job_index].num_chunks)
+        ]
+
+    @property
+    def is_complete(self) -> bool:
+        return all(result is not None for result in self.results)
+
+    @property
+    def jobs_done(self) -> int:
+        return sum(1 for result in self.results if result is not None)
+
+    @property
+    def chunks_done(self) -> int:
+        """Chunks accounted for so far (cached jobs count all their chunks)."""
+        return self.stats.chunks_run + self._cached_chunks
+
+    def prebuild_artifacts(self) -> None:
+        """Build each pending decode job's decoder artifacts once, up-front."""
+        artifact_jobs = [
+            self.plan.jobs[index]
+            for index in self.pending
+            if self.plan.jobs[index].decoder_artifact_dir and self.plan.jobs[index].decode
+        ]
+        if not artifact_jobs:
+            return
+        from repro.decoder.artifacts import prebuild_job_artifacts
+
+        self.stats.artifacts_prebuilt = prebuild_job_artifacts(artifact_jobs)
+
+    def record_chunk(
+        self, job_index: int, chunk: int, result: MemoryExperimentResult
+    ) -> bool:
+        """Account one executed chunk; returns True when its job completed.
+
+        On job completion the chunks merge in fixed chunk order (so the
+        arithmetic is backend-independent) and the merged result persists to
+        the store immediately — a sweep killed later loses only unfinished
+        jobs.  Duplicate deliveries of a chunk (a retried worker whose first
+        attempt actually finished) are harmless: the rerun is bit-identical
+        by seed discipline, and the chunk is only counted once.
+        """
+        duplicate = (job_index, chunk) in self._chunk_results
+        self._chunk_results[(job_index, chunk)] = result
+        if duplicate:
+            return False
+        self.stats.chunks_run += 1
+        if self.metrics is not None:
+            self.metrics.counter("chunks_executed").inc()
+        self._remaining[job_index] -= 1
+        if self._remaining[job_index] > 0:
+            return False
+        del self._remaining[job_index]
+        job = self.plan.jobs[job_index]
+        merged = merge_chunk_results(
+            [self._chunk_results.pop((job_index, c)) for c in range(job.num_chunks)]
+        )
+        if self.store is not None:
+            self.store.save(job.cache_key(), merged, config=job.config_dict())
+        self.results[job_index] = merged
+        if self.metrics is not None:
+            self.metrics.counter("sweep_jobs_completed").inc()
+        return True
+
+    def finish(self, elapsed_seconds: float) -> SweepStats:
+        """Stamp the elapsed time and return the final statistics."""
+        self.stats.elapsed_seconds = elapsed_seconds
+        return self.stats
 
 
 class SweepExecutor:
@@ -125,6 +303,9 @@ class SweepExecutor:
             *once* before fan-out so worker processes start artifact-warm
             instead of rebuilding APSP/frame tables N times.  Perf-only: job
             cache identity is unchanged.
+        metrics: Optional :class:`~repro.experiments.metrics.MetricsRegistry`
+            counting chunk/cache traffic and per-chunk latency (the same
+            registry the sweep service snapshots over its API).
 
     After :meth:`run`, :attr:`last_stats` reports cache hits and the number of
     chunks actually simulated (``0`` on a fully-cached rerun).
@@ -137,6 +318,7 @@ class SweepExecutor:
         resume: bool = False,
         store: Optional[ResultStore] = None,
         decoder_artifact_dir: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -146,6 +328,7 @@ class SweepExecutor:
             store = ResultStore(root) if root else None
         self.store = store
         self.decoder_artifact_dir = decoder_artifact_dir
+        self.metrics = metrics
         self.last_stats = SweepStats()
 
     # ------------------------------------------------------------------
@@ -156,59 +339,13 @@ class SweepExecutor:
     def run(self, plan: SweepPlan) -> List[MemoryExperimentResult]:
         """Execute ``plan`` and return results in plan order."""
         started = time.perf_counter()
-        if self.decoder_artifact_dir:
-            plan = SweepPlan(
-                [
-                    job
-                    if job.decoder_artifact_dir
-                    else replace(job, decoder_artifact_dir=self.decoder_artifact_dir)
-                    for job in plan.jobs
-                ]
-            )
-        stats = SweepStats(jobs_total=len(plan.jobs))
-        results: List[Optional[MemoryExperimentResult]] = [None] * len(plan.jobs)
-
-        pending: List[int] = []
-        for index, job in enumerate(plan.jobs):
-            cached = self.store.load(job.cache_key()) if self.store is not None else None
-            if cached is not None:
-                results[index] = cached
-                stats.cache_hits += 1
-            else:
-                pending.append(index)
-
-        artifact_jobs = [
-            plan.jobs[index]
-            for index in pending
-            if plan.jobs[index].decoder_artifact_dir and plan.jobs[index].decode
-        ]
-        if artifact_jobs:
-            # Build each unique decoding graph's APSP/frame tables once, here,
-            # so the fan-out below (including every pool worker) loads them
-            # back as shared memory maps instead of recomputing per process.
-            from repro.decoder.artifacts import prebuild_job_artifacts
-
-            stats.artifacts_prebuilt = prebuild_job_artifacts(artifact_jobs)
-
-        tasks: List[Tuple[int, int]] = [
-            (job_index, chunk)
-            for job_index in pending
-            for chunk in range(plan.jobs[job_index].num_chunks)
-        ]
-        chunk_results: Dict[Tuple[int, int], MemoryExperimentResult] = {}
-        remaining = {job_index: plan.jobs[job_index].num_chunks for job_index in pending}
-
-        def complete_job(job_index: int) -> None:
-            # Merge (fixed chunk order, so the arithmetic is backend-independent)
-            # and persist immediately: a sweep killed later loses only the jobs
-            # that had not finished, which is what makes --resume incremental.
-            job = plan.jobs[job_index]
-            merged = merge_chunk_results(
-                [chunk_results.pop((job_index, chunk)) for chunk in range(job.num_chunks)]
-            )
-            if self.store is not None:
-                self.store.save(job.cache_key(), merged, config=job.config_dict())
-            results[job_index] = merged
+        plan = apply_decoder_artifact_dir(plan, self.decoder_artifact_dir)
+        execution = PlanExecution(plan, store=self.store, metrics=self.metrics)
+        # Build each unique decoding graph's APSP/frame tables once, here, so
+        # the fan-out below (including every pool worker) loads them back as
+        # shared memory maps instead of recomputing per process.
+        execution.prebuild_artifacts()
+        tasks = execution.tasks
 
         if self.jobs > 1 and len(tasks) > 1:
             workers = min(self.jobs, len(tasks))
@@ -219,23 +356,14 @@ class SweepExecutor:
                 }
                 for future in as_completed(futures):
                     job_index, chunk = futures[future]
-                    chunk_results[(job_index, chunk)] = future.result()
-                    remaining[job_index] -= 1
-                    if remaining[job_index] == 0:
-                        complete_job(job_index)
+                    execution.record_chunk(job_index, chunk, future.result())
         else:
             # tasks are job-major, so each job completes (and is saved) before
             # the next one starts.
             for job_index, chunk in tasks:
-                chunk_results[(job_index, chunk)] = _execute_chunk(
-                    plan.jobs[job_index], chunk
+                execution.record_chunk(
+                    job_index, chunk, _execute_chunk(plan.jobs[job_index], chunk)
                 )
-                remaining[job_index] -= 1
-                if remaining[job_index] == 0:
-                    complete_job(job_index)
 
-        stats.jobs_run = len(pending)
-        stats.chunks_run = len(tasks)
-        stats.elapsed_seconds = time.perf_counter() - started
-        self.last_stats = stats
-        return results  # type: ignore[return-value]
+        self.last_stats = execution.finish(time.perf_counter() - started)
+        return execution.results  # type: ignore[return-value]

@@ -174,6 +174,50 @@ class SweepJob:
         return config_hash(self.config_dict())
 
     # ------------------------------------------------------------------
+    # Wire form (sweep-service submissions)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, object]:
+        """Every field as JSON primitives — the sweep-service submit body.
+
+        Unlike :meth:`config_dict` this is *lossless* (perf-only knobs such
+        as the decoder tuning fields ride along) so a service-side job is
+        exactly the job the client built, including its cache identity.
+        """
+        return {
+            "distance": self.distance,
+            "policy": self.policy,
+            "shots": self.shots,
+            "rounds": self.rounds,
+            "p": self.p,
+            "code_family": self.code_family,
+            "noise_profile": self.noise_profile,
+            "leakage_enabled": self.leakage_enabled,
+            "transport_model": self.transport_model,
+            "protocol": self.protocol,
+            "decode": self.decode,
+            "decoder_method": self.decoder_method,
+            "engine": self.engine,
+            "batch_size": self.batch_size,
+            "policy_kwargs": [[key, value] for key, value in self.policy_kwargs],
+            "seed_entropy": self.seed_entropy,
+            "spawn_key": list(self.spawn_key),
+            "chunk_shots": self.chunk_shots,
+            "decoder_dp_threshold": self.decoder_dp_threshold,
+            "decoder_cache_size": self.decoder_cache_size,
+            "decoder_artifact_dir": self.decoder_artifact_dir,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "SweepJob":
+        """Rebuild a job from :meth:`to_wire` (inverse, bit-identical)."""
+        fields = dict(payload)
+        fields["policy_kwargs"] = tuple(
+            (str(key), value) for key, value in fields.get("policy_kwargs", [])
+        )
+        fields["spawn_key"] = tuple(int(v) for v in fields.get("spawn_key", []))
+        return cls(**fields)
+
+    # ------------------------------------------------------------------
     # Seeds and chunks
     # ------------------------------------------------------------------
     def seed_sequence(self) -> np.random.SeedSequence:
@@ -394,3 +438,12 @@ class SweepPlan:
         """The same grid re-derived from a different root seed."""
         entropy = root_entropy(seed)
         return SweepPlan([replace(job, seed_entropy=entropy) for job in self.jobs])
+
+    def to_wire(self) -> Dict[str, object]:
+        """JSON form of the whole plan (the sweep-service submit body)."""
+        return {"jobs": [job.to_wire() for job in self.jobs]}
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, object]) -> "SweepPlan":
+        """Rebuild a plan from :meth:`to_wire` (inverse, bit-identical)."""
+        return cls([SweepJob.from_wire(job) for job in payload.get("jobs", [])])

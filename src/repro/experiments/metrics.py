@@ -1,4 +1,4 @@
-"""Evaluation metrics.
+"""Evaluation metrics and operational telemetry.
 
 The paper evaluates scheduling policies with:
 
@@ -9,14 +9,22 @@ The paper evaluates scheduling policies with:
 * the average number of LRCs scheduled per round (Table 4).
 
 This module provides the counting containers and simple statistics used for
-all of them.
+all of them, plus the :class:`MetricsRegistry` of counters, gauges and
+histograms that instruments the Section 6 sweep machinery — the executor
+counts chunks executed versus served from cache, and the sweep service
+(:mod:`repro.service`) snapshots the same registry over its API and streams
+it as NDJSON for live dashboards.  Snapshots are canonical (sorted keys,
+compact separators) so that serialising, parsing and re-serialising a
+snapshot is byte-stable.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import threading
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -113,3 +121,219 @@ def improvement_factor(baseline: float, improved: float) -> float:
     if improved <= 0.0:
         return float("inf")
     return baseline / improved
+
+
+# ----------------------------------------------------------------------
+# Operational telemetry (sweep executor + sweep service)
+# ----------------------------------------------------------------------
+
+def canonical_metrics_json(payload: Dict[str, object]) -> str:
+    """Canonical JSON form of a metrics payload (sorted keys, no spaces)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+#: Default latency buckets (seconds) for chunk-execution histograms: log-ish
+#: spacing from sub-millisecond chunks up to minute-long ones.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Snapshot key for the implicit overflow bucket of a histogram.
+INF_BUCKET = "+inf"
+
+
+class Counter:
+    """A monotonically increasing counter (e.g. chunks executed)."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a Gauge instead")
+        with self._lock:
+            self._value += int(amount)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can move both ways (e.g. queue depth, live workers)."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Bucketed observations (e.g. per-chunk latency).
+
+    Buckets are keyed by their *upper* bound and counted per bucket (not
+    cumulatively); observations above the last bound land in the implicit
+    ``+inf`` bucket.  ``count``/``sum``/``min``/``max`` are tracked exactly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(float(b) for b in buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.name = name
+        self._lock = lock
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            index = len(self.bounds)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            buckets = {
+                format(bound, "g"): self._counts[i]
+                for i, bound in enumerate(self.bounds)
+            }
+            buckets[INF_BUCKET] = self._counts[-1]
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "buckets": buckets,
+            }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Overwrite this histogram's state from a :meth:`snapshot` dict."""
+        with self._lock:
+            buckets = dict(state["buckets"])  # type: ignore[arg-type]
+            counts = [int(buckets[format(b, "g")]) for b in self.bounds]
+            counts.append(int(buckets[INF_BUCKET]))
+            self._counts = counts
+            self._count = int(state["count"])
+            self._sum = float(state["sum"])
+            self._min = None if state["min"] is None else float(state["min"])
+            self._max = None if state["max"] is None else float(state["max"])
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    One registry instruments a whole process: the sweep executor counts
+    chunk/cache traffic into it, the scheduler adds job lifecycle and worker
+    supervision metrics, and the decoder's :class:`~repro.decoder.decoder.
+    DecoderStats` dispatch counters are merged in under a ``decoder_``
+    prefix.  :meth:`snapshot` returns a plain-dict view whose canonical JSON
+    (:func:`canonical_metrics_json`) round-trips byte-for-byte through
+    :meth:`from_snapshot`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first use) --------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name, threading.Lock())
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name, threading.Lock())
+            return self._gauges[name]
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, threading.Lock(), buckets)
+            return self._histograms[name]
+
+    def merge_counts(self, counts: Dict[str, int], prefix: str = "") -> None:
+        """Add a dict of counter increments (e.g. a ``DecoderStats`` dump)."""
+        for name, value in counts.items():
+            self.counter(f"{prefix}{name}").inc(int(value))
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time plain-dict view of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON of :meth:`snapshot`."""
+        return canonical_metrics_json(self.snapshot())
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry whose :meth:`snapshot` equals ``snapshot``."""
+        registry = cls()
+        for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+            registry.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+            registry.gauge(name).set(float(value))
+        for name, state in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+            bounds = sorted(
+                float(key) for key in state["buckets"] if key != INF_BUCKET
+            )
+            registry.histogram(name, buckets=bounds).restore(state)
+        return registry

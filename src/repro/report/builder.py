@@ -77,6 +77,11 @@ class ReportBuilder:
         figures: Attempt PNG rendering (skipped gracefully without
             matplotlib).
         executor: Pre-built executor (overrides jobs/cache_dir/resume).
+        service_url: Base URL of a running ``eraser-repro serve`` instance;
+            when set, every sweep is submitted to that service (results are
+            bit-identical to in-process execution, so the report is
+            byte-for-byte the same — the service just owns the cache and the
+            worker pool).
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class ReportBuilder:
         decoder_artifact_dir: Optional[str] = None,
         figures: bool = True,
         executor: Optional[SweepExecutor] = None,
+        service_url: Optional[str] = None,
     ) -> None:
         self.specs = [get_experiment(i) for i in ids] if ids else list(EXPERIMENTS.values())
         self.output_dir = Path(output_dir)
@@ -101,6 +107,10 @@ class ReportBuilder:
         self.seed = int(seed)
         self.chunk_shots = chunk_shots
         self.figures = figures
+        if executor is None and service_url:
+            from repro.service.client import ServiceExecutor
+
+            executor = ServiceExecutor(service_url, timeout=None)
         if executor is None:
             if cache_dir or resume:
                 executor = SweepExecutor(

@@ -1,0 +1,42 @@
+"""Sweep-as-a-service: scheduler, HTTP API, client, telemetry wire format.
+
+Promotes the Section 6 Monte-Carlo sweep machinery from a one-shot CLI
+helper to a long-running local service: many clients share one warm
+content-addressed result cache (sharded so concurrent workers never contend
+on a single directory), one persistent decoder-artifact store, and one
+supervised worker pool.  The paper's figures each burn millions of shots;
+a resident scheduler with chunk-granular scheduling, crash recovery and
+live telemetry is what makes that traffic cheap to serve repeatedly.
+
+Modules:
+
+* :mod:`repro.service.scheduler` — asyncio job scheduler over a supervised
+  ``ProcessPoolExecutor`` pool (heartbeats, bounded retry-with-backoff on
+  worker death, graceful drain).
+* :mod:`repro.service.server` — minimal local HTTP front-end
+  (``submit`` / ``status`` / ``results`` / ``cancel`` / ``metrics``).
+* :mod:`repro.service.client` — stdlib client plus a
+  :class:`~repro.service.client.ServiceExecutor` facade that drops into any
+  code written against :class:`~repro.experiments.executor.SweepExecutor`.
+* :mod:`repro.service.wire` — JSON wire forms for results, stats and the
+  NDJSON metrics stream.
+
+The crash/retry/resume guarantees are proven by the fault-injection suite
+(``tests/test_service_faults.py``): workers SIGKILLed mid-chunk, torn shard
+entries, and scheduler restarts all recover to results bit-identical to a
+serial :class:`~repro.experiments.executor.SweepExecutor` run.
+"""
+
+from repro.service.client import ServiceExecutor, SweepServiceClient, default_service_url
+from repro.service.scheduler import SweepScheduler
+from repro.service.server import SweepService, run_service, serve_forever
+
+__all__ = [
+    "ServiceExecutor",
+    "SweepServiceClient",
+    "default_service_url",
+    "SweepScheduler",
+    "SweepService",
+    "run_service",
+    "serve_forever",
+]

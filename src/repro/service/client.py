@@ -1,0 +1,198 @@
+"""Stdlib HTTP client for the sweep service, plus an executor facade.
+
+Two layers:
+
+* :class:`SweepServiceClient` — a thin ``urllib``-based wrapper over the
+  service API (:mod:`repro.service.server`): submit plans, poll status,
+  fetch results, tail the NDJSON telemetry stream.
+* :class:`ServiceExecutor` — a drop-in stand-in for
+  :class:`~repro.experiments.executor.SweepExecutor` that routes plans
+  through a running service instead of executing in-process.  The report
+  builder (Section 6 / Figures 6–9 pipelines) accepts it unchanged: it
+  exposes the same ``run(plan)`` / ``run_job(job)`` / ``last_stats``
+  surface, and the results coming back over the wire are bit-identical to
+  a local run (JSON floats round-trip exactly; chunk seeds are
+  position-keyed, so the backend cannot change a statistic).
+
+No third-party dependencies — the repo's no-new-deps rule holds here too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.executor import SweepStats
+from repro.experiments.jobs import SweepJob, SweepPlan
+from repro.experiments.results import MemoryExperimentResult
+from repro.service.wire import parse_metrics_ndjson, result_from_wire
+
+DEFAULT_SERVICE_URL = "http://127.0.0.1:7917"
+SERVICE_URL_ENV = "ERASER_REPRO_SERVICE_URL"
+
+
+def default_service_url() -> str:
+    """Service URL from ``ERASER_REPRO_SERVICE_URL``, else the default port."""
+    return os.environ.get(SERVICE_URL_ENV, DEFAULT_SERVICE_URL)
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or application-level error from the sweep service."""
+
+
+class SweepServiceClient:
+    """Talk to a running sweep service over its local HTTP API.
+
+    Args:
+        base_url: Service root, e.g. ``http://127.0.0.1:7917`` (defaults to
+            :func:`default_service_url`).
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: Optional[str] = None, timeout: float = 30.0) -> None:
+        self.base_url = (base_url or default_service_url()).rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> bytes:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace").strip()
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (ValueError, AttributeError):
+                pass
+            raise ServiceError(
+                f"{method} {path} failed ({error.code}): {detail}"
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach sweep service at {self.base_url}: {error.reason}"
+            ) from None
+
+    def _request_json(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        return json.loads(self._request(method, path, payload))
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Whether the service answers its liveness probe."""
+        try:
+            return self._request_json("GET", "/healthz").get("status") == "ok"
+        except ServiceError:
+            return False
+
+    def submit(self, plan: SweepPlan) -> str:
+        """Submit a plan; returns the service-side submission id."""
+        return str(self._request_json("POST", "/submit", plan.to_wire())["job_id"])
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request_json("GET", f"/status/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None, poll: float = 0.2
+    ) -> Dict[str, object]:
+        """Poll until the submission reaches a terminal state.
+
+        Raises :class:`ServiceError` when the sweep fails or is cancelled,
+        or :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            state = status.get("state")
+            if state == "done":
+                return status
+            if state in ("failed", "cancelled"):
+                raise ServiceError(
+                    f"submission {job_id} {state}: {status.get('error')}"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"submission {job_id} still {state} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def results(
+        self, job_id: str
+    ) -> Tuple[List[MemoryExperimentResult], SweepStats]:
+        """Fetch a finished submission's results and run statistics."""
+        payload = self._request_json("GET", f"/results/{job_id}")
+        results = [result_from_wire(entry) for entry in payload["results"]]
+        stats = SweepStats.from_dict(payload["stats"])
+        return results, stats
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self._request_json("POST", f"/cancel/{job_id}")["cancelled"])
+
+    def metrics(self) -> Dict[str, object]:
+        """One canonical telemetry snapshot (``GET /metrics``)."""
+        return self._request_json("GET", "/metrics")
+
+    def metrics_stream(
+        self, count: int = 10, interval: float = 0.5
+    ) -> Iterator[Dict[str, object]]:
+        """Yield ``count`` NDJSON telemetry snapshots from the live stream."""
+        raw = self._request(
+            "GET", f"/metrics/stream?count={int(count)}&interval={interval}"
+        )
+        for line in raw.decode("utf-8").splitlines():
+            if line.strip():
+                yield parse_metrics_ndjson(line)
+
+    def workers(self) -> Dict[str, object]:
+        """Worker pool introspection: PIDs and pool generation."""
+        return self._request_json("GET", "/workers")
+
+    def shutdown(self) -> None:
+        self._request_json("POST", "/shutdown")
+
+
+class ServiceExecutor:
+    """:class:`~repro.experiments.executor.SweepExecutor`-compatible facade.
+
+    ``run(plan)`` submits to the service, blocks until completion, and
+    returns the results in plan order; :attr:`last_stats` then carries the
+    service-side :class:`~repro.experiments.executor.SweepStats` — exactly
+    the contract the report builder and render pipeline already rely on.
+    """
+
+    def __init__(
+        self,
+        base_url: Optional[str] = None,
+        timeout: Optional[float] = None,
+        poll: float = 0.2,
+    ) -> None:
+        self.client = SweepServiceClient(base_url)
+        self.timeout = timeout
+        self.poll = poll
+        self.last_stats = SweepStats()
+        self.last_job_id: Optional[str] = None
+
+    def run(self, plan: SweepPlan) -> List[MemoryExperimentResult]:
+        job_id = self.client.submit(plan)
+        self.last_job_id = job_id
+        self.client.wait(job_id, timeout=self.timeout, poll=self.poll)
+        results, stats = self.client.results(job_id)
+        self.last_stats = stats
+        return results
+
+    def run_job(self, job: SweepJob) -> MemoryExperimentResult:
+        return self.run(SweepPlan([job]))[0]

@@ -1,0 +1,470 @@
+"""Asyncio sweep scheduler: supervised workers, retries, crash recovery.
+
+The resident core of the sweep service (ROADMAP "heavy traffic" unlock for
+the Section 6 Monte-Carlo evaluation).  A :class:`SweepScheduler` accepts
+:class:`~repro.experiments.jobs.SweepPlan` submissions, decomposes them into
+chunk-granular tasks through the shared
+:class:`~repro.experiments.executor.PlanExecution` core (the same code the
+in-process executor runs, so statistics are bit-identical between backends),
+and dispatches chunks to a supervised ``ProcessPoolExecutor`` worker pool.
+
+Supervision and fault tolerance:
+
+* **Heartbeats** — every worker process runs a daemon thread touching a
+  per-PID heartbeat file; the scheduler's supervisor task scans them,
+  publishes the ``workers_alive`` gauge, and counts silently-dead workers.
+* **Retry with backoff** — a worker death (SIGKILL, OOM, segfault) breaks
+  the pool; every in-flight chunk gets ``BrokenProcessPool``.  The pool is
+  rebuilt once (generation-guarded) and the chunks requeue with exponential
+  backoff, bounded by ``max_chunk_retries``.  Because chunk random streams
+  are position-keyed (the PR 2 seed discipline), a re-executed chunk
+  reproduces its result exactly, so crashes never change a statistic.
+* **Job-granular persistence** — each job merges and persists to the
+  (sharded) :class:`~repro.experiments.store.ResultStore` the moment its
+  last chunk lands, so a scheduler killed mid-sweep resumes by resubmitting
+  the same plan: completed jobs are cache hits, incomplete ones re-run.
+* **Graceful drain** — :meth:`SweepScheduler.drain` stops accepting
+  submissions and waits for every accepted sweep to reach a terminal state.
+
+All activity is counted into one
+:class:`~repro.experiments.metrics.MetricsRegistry` (job lifecycle, chunk
+cache/execute traffic, per-chunk latency, worker supervision, and every
+worker's ``decoder_*`` dispatch counters), which the HTTP layer snapshots
+and streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional
+
+from repro.experiments.executor import (
+    PlanExecution,
+    apply_decoder_artifact_dir,
+    execute_chunk_with_stats,
+)
+from repro.experiments.jobs import SweepPlan
+from repro.experiments.metrics import MetricsRegistry
+from repro.experiments.results import MemoryExperimentResult
+from repro.experiments.store import ResultStore
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+
+TERMINAL_STATES = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
+
+
+def _worker_heartbeat(heartbeat_dir: str, interval: float) -> None:
+    """Worker-pool initializer: touch a per-PID heartbeat file forever.
+
+    Runs in the worker process.  The thread is a daemon so it never delays
+    worker shutdown; a SIGKILLed worker simply stops beating, which is how
+    the supervisor notices it died.
+
+    The initializer also severs the signal plumbing a fork-started worker
+    inherits from the serving process.  The parent's asyncio loop installs
+    SIGTERM/SIGINT handlers backed by ``signal.set_wakeup_fd``; a forked
+    worker shares that wakeup pipe, so a worker receiving SIGTERM (which the
+    pool sends to survivors when a sibling dies) would write the signal byte
+    into the *parent's* pipe and trick the service into a graceful shutdown
+    mid-recovery.  Resetting the wakeup fd and dispositions here keeps
+    worker signals inside the worker.
+    """
+    import signal as _signal
+
+    try:
+        _signal.set_wakeup_fd(-1)
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+        _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread or exotic platform
+        pass
+    path = os.path.join(heartbeat_dir, f"worker-{os.getpid()}")
+
+    def _beat() -> None:
+        while True:
+            try:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(f"{time.time():.6f}")
+            except OSError:
+                pass
+            time.sleep(interval)
+
+    threading.Thread(target=_beat, daemon=True, name="heartbeat").start()
+
+
+class SweepSubmission:
+    """One accepted sweep plan and its execution state inside the scheduler."""
+
+    def __init__(self, submission_id: str, plan: SweepPlan, execution: PlanExecution) -> None:
+        self.id = submission_id
+        self.plan = plan
+        self.execution = execution
+        self.state = STATE_QUEUED
+        self.error: Optional[str] = None
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.done_event = asyncio.Event()
+        #: Serialises record_chunk calls (PlanExecution is not thread-safe).
+        self.record_lock = asyncio.Lock()
+
+    def status_dict(self) -> Dict[str, object]:
+        """The JSON status payload served by ``GET /status/<id>``."""
+        execution = self.execution
+        return {
+            "id": self.id,
+            "state": self.state,
+            "error": self.error,
+            "jobs_total": len(self.plan.jobs),
+            "jobs_done": execution.jobs_done,
+            "cache_hits": execution.stats.cache_hits,
+            "chunks_total": self.plan.total_chunks,
+            "chunks_done": execution.chunks_done,
+            "chunks_executed": execution.stats.chunks_run,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+        }
+
+
+class SweepScheduler:
+    """Long-running asyncio scheduler over a supervised process pool.
+
+    Args:
+        store: Shared (typically sharded) result store; completed jobs
+            persist here, and submissions are served from it before any
+            Monte-Carlo work is scheduled.
+        workers: Worker processes in the pool (also the number of pump
+            tasks, i.e. the chunk-level concurrency).
+        metrics: Telemetry registry (created if not supplied); exposed as
+            :attr:`metrics` for the HTTP layer to snapshot.
+        max_chunk_retries: How many times one chunk may be re-dispatched
+            after worker deaths before its sweep fails.
+        retry_backoff: Base of the exponential backoff (seconds) between a
+            worker death and the chunk's re-dispatch.
+        heartbeat_interval: Worker heartbeat period (seconds); the
+            supervisor scans at the same cadence.
+        decoder_artifact_dir: Persistent decoder-artifact store inherited by
+            every submitted job (perf-only, like the executor's knob).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+        max_chunk_retries: int = 3,
+        retry_backoff: float = 0.1,
+        heartbeat_interval: float = 0.25,
+        decoder_artifact_dir: Optional[str] = None,
+    ) -> None:
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_chunk_retries = int(max_chunk_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.decoder_artifact_dir = decoder_artifact_dir
+        self._submissions: Dict[str, SweepSubmission] = {}
+        self._ids = itertools.count(1)
+        self._draining = False
+        self._started = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._heartbeat_dir: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bring up the worker pool, pump tasks and heartbeat supervisor."""
+        if self._started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._pool_lock = asyncio.Lock()
+        self._heartbeat_dir = tempfile.mkdtemp(prefix="eraser-service-hb-")
+        self._pool = self._make_pool()
+        self._pumps = [
+            asyncio.create_task(self._pump(), name=f"sweep-pump-{index}")
+            for index in range(self.workers)
+        ]
+        self._supervisor_task = asyncio.create_task(
+            self._supervise(), name="sweep-supervisor"
+        )
+        self._started = True
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_heartbeat,
+            initargs=(self._heartbeat_dir, self.heartbeat_interval),
+        )
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current pool's worker processes (may be warming up)."""
+        pool = self._pool
+        if pool is None or not pool._processes:  # noqa: SLF001 - stdlib has no API
+            return []
+        return sorted(pool._processes.keys())  # noqa: SLF001
+
+    async def drain(self) -> None:
+        """Stop accepting submissions and wait for accepted ones to finish."""
+        self._draining = True
+        pending = [
+            submission
+            for submission in self._submissions.values()
+            if submission.state not in TERMINAL_STATES
+        ]
+        if pending:
+            await asyncio.gather(*(s.done_event.wait() for s in pending))
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down; ``drain=False`` abandons queued work immediately."""
+        if not self._started:
+            return
+        if drain:
+            await self.drain()
+        self._draining = True
+        for task in self._pumps:
+            task.cancel()
+        self._supervisor_task.cancel()
+        await asyncio.gather(*self._pumps, self._supervisor_task, return_exceptions=True)
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=drain, cancel_futures=True)
+        if self._heartbeat_dir:
+            shutil.rmtree(self._heartbeat_dir, ignore_errors=True)
+        self._started = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Submissions
+    # ------------------------------------------------------------------
+    async def submit(self, plan: SweepPlan) -> str:
+        """Accept a plan; returns the submission id immediately.
+
+        Cached jobs are resolved synchronously (a fully-cached plan is done
+        before this returns — the warm-resubmit path executes zero chunks);
+        everything else becomes queued chunk tasks.
+        """
+        if not self._started:
+            raise RuntimeError("scheduler is not running")
+        if self._draining:
+            raise RuntimeError("scheduler is draining and not accepting submissions")
+        plan = apply_decoder_artifact_dir(plan, self.decoder_artifact_dir)
+        submission_id = f"sweep-{next(self._ids):06d}"
+        execution = await asyncio.to_thread(
+            PlanExecution, plan, self.store, self.metrics
+        )
+        submission = SweepSubmission(submission_id, plan, execution)
+        self._submissions[submission_id] = submission
+        self.metrics.counter("jobs_submitted").inc()
+        self.metrics.counter("sweep_jobs_total").inc(len(plan.jobs))
+        if execution.is_complete:
+            self._finish(submission)
+        else:
+            submission.state = STATE_RUNNING
+            submission.started = time.time()
+            await asyncio.to_thread(execution.prebuild_artifacts)
+            for job_index, chunk in execution.tasks:
+                self._queue.put_nowait((submission, job_index, chunk, 0))
+        self._update_gauges()
+        return submission_id
+
+    def get(self, submission_id: str) -> SweepSubmission:
+        try:
+            return self._submissions[submission_id]
+        except KeyError:
+            raise KeyError(f"unknown submission {submission_id!r}") from None
+
+    def status(self, submission_id: str) -> Dict[str, object]:
+        return self.get(submission_id).status_dict()
+
+    def list_submissions(self) -> List[Dict[str, object]]:
+        return [s.status_dict() for s in self._submissions.values()]
+
+    def results(self, submission_id: str) -> List[MemoryExperimentResult]:
+        submission = self.get(submission_id)
+        if submission.state != STATE_DONE:
+            raise RuntimeError(
+                f"submission {submission_id} is {submission.state}, not done"
+            )
+        return submission.execution.results  # type: ignore[return-value]
+
+    def cancel(self, submission_id: str) -> bool:
+        """Cancel a submission; returns False if it already finished."""
+        submission = self.get(submission_id)
+        if submission.state in TERMINAL_STATES:
+            return False
+        submission.state = STATE_CANCELLED
+        submission.finished = time.time()
+        submission.done_event.set()
+        self.metrics.counter("jobs_cancelled").inc()
+        self._update_gauges()
+        return True
+
+    async def wait(self, submission_id: str, timeout: Optional[float] = None) -> str:
+        """Block until the submission reaches a terminal state; returns it."""
+        submission = self.get(submission_id)
+        await asyncio.wait_for(submission.done_event.wait(), timeout)
+        return submission.state
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _finish(self, submission: SweepSubmission) -> None:
+        submission.state = STATE_DONE
+        submission.finished = time.time()
+        elapsed = submission.finished - (submission.started or submission.created)
+        submission.execution.finish(elapsed)
+        submission.done_event.set()
+        self.metrics.counter("jobs_completed").inc()
+        self._update_gauges()
+
+    def _fail(self, submission: SweepSubmission, error: BaseException) -> None:
+        if submission.state in TERMINAL_STATES:
+            return
+        submission.state = STATE_FAILED
+        submission.error = f"{type(error).__name__}: {error}"
+        submission.finished = time.time()
+        submission.done_event.set()
+        self.metrics.counter("jobs_failed").inc()
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        states = [s.state for s in self._submissions.values()]
+        self.metrics.gauge("jobs_queued").set(states.count(STATE_QUEUED))
+        self.metrics.gauge("jobs_running").set(states.count(STATE_RUNNING))
+        if self._started:
+            self.metrics.gauge("queue_depth").set(self._queue.qsize())
+
+    async def _pump(self) -> None:
+        """One chunk-dispatch loop; ``workers`` of these run concurrently."""
+        while True:
+            submission, job_index, chunk, attempt = await self._queue.get()
+            try:
+                await self._run_chunk(submission, job_index, chunk, attempt)
+            finally:
+                self._queue.task_done()
+                self._update_gauges()
+
+    async def _run_chunk(
+        self, submission: SweepSubmission, job_index: int, chunk: int, attempt: int
+    ) -> None:
+        if submission.state != STATE_RUNNING:
+            return  # cancelled or failed while queued
+        job = submission.plan.jobs[job_index]
+        generation = self._pool_generation
+        started = time.perf_counter()
+        try:
+            result, decoder_stats = await self._loop.run_in_executor(
+                self._pool, execute_chunk_with_stats, job, chunk
+            )
+        except BrokenProcessPool as error:
+            await self._restart_pool(generation)
+            if attempt >= self.max_chunk_retries:
+                self._fail(
+                    submission,
+                    RuntimeError(
+                        f"chunk (job {job_index}, chunk {chunk}) still failing "
+                        f"after {self.max_chunk_retries} worker-death retries: {error}"
+                    ),
+                )
+                return
+            self.metrics.counter("chunk_retries").inc()
+            await asyncio.sleep(self.retry_backoff * (2 ** attempt))
+            if submission.state == STATE_RUNNING:
+                self._queue.put_nowait((submission, job_index, chunk, attempt + 1))
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # a real simulation error: fail the sweep
+            self._fail(submission, error)
+            return
+        self.metrics.histogram("chunk_latency_seconds").observe(
+            time.perf_counter() - started
+        )
+        if decoder_stats:
+            self.metrics.merge_counts(decoder_stats, prefix="decoder_")
+        if submission.state != STATE_RUNNING:
+            return
+        async with submission.record_lock:
+            await asyncio.to_thread(
+                submission.execution.record_chunk, job_index, chunk, result
+            )
+        if submission.execution.is_complete:
+            self._finish(submission)
+
+    async def _restart_pool(self, generation: int) -> None:
+        """Replace a broken pool exactly once per breakage (generation guard)."""
+        async with self._pool_lock:
+            if self._pool is None or self._pool_generation != generation:
+                return
+            broken, self._pool = self._pool, self._make_pool()
+            self._pool_generation += 1
+            self.metrics.counter("worker_restarts").inc()
+            broken.shutdown(wait=False, cancel_futures=True)
+
+    async def _supervise(self) -> None:
+        """Scan worker heartbeat files; publish liveness metrics."""
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            self._scan_heartbeats()
+            self._update_gauges()
+
+    def _scan_heartbeats(self) -> None:
+        directory = self._heartbeat_dir
+        if not directory:
+            return
+        alive = 0
+        stale_before = time.time() - 4 * self.heartbeat_interval
+        try:
+            entries = os.listdir(directory)
+        except OSError:
+            return
+        for name in entries:
+            if not name.startswith("worker-"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                pid = int(name.split("-", 1)[1])
+                mtime = os.path.getmtime(path)
+            except (ValueError, OSError):
+                continue
+            if not _pid_alive(pid):
+                # The worker died without unwinding (SIGKILL/OOM); its last
+                # heartbeat outlives it, so reap the file and count the death.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                self.metrics.counter("worker_deaths_detected").inc()
+            elif mtime >= stale_before:
+                alive += 1
+        self.metrics.gauge("workers_alive").set(alive)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this PID still exists (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True

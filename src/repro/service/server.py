@@ -1,0 +1,333 @@
+"""Minimal stdlib HTTP front-end for the sweep scheduler.
+
+Exposes the :class:`~repro.service.scheduler.SweepScheduler` over a local
+HTTP API so the Section 6 sweeps can be driven from the CLI, CI, or the
+report builder without importing the scheduler in-process.  Endpoints:
+
+======================================  =======================================
+``POST /submit``                        body = ``SweepPlan.to_wire()``;
+                                        returns ``{"job_id": ...}``
+``GET /status/<id>``                    submission state + chunk progress
+``GET /results/<id>``                   results (wire form) + ``SweepStats``
+``POST /cancel/<id>``                   cancel a queued/running submission
+``GET /metrics``                        one canonical metrics snapshot
+``GET /metrics/stream?count=N``         NDJSON metrics stream (live telemetry)
+``GET /workers``                        worker PIDs + pool generation (lets a
+                                        fault harness SIGKILL a real worker)
+``GET /healthz``                        liveness probe
+``POST /shutdown``                      drain and stop the server
+======================================  =======================================
+
+The server is deliberately tiny (asyncio streams, no framework — the repo
+adds no dependencies): one request per connection, JSON in, JSON out, which
+is all a local reproduction service needs.  MICRO-scale deployments would
+front this with a real ASGI stack; the paper's evaluation does not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.experiments.jobs import SweepPlan
+from repro.experiments.metrics import MetricsRegistry, canonical_metrics_json
+from repro.experiments.store import DEFAULT_SERVICE_SHARDS, ResultStore
+from repro.service.scheduler import SweepScheduler
+from repro.service.wire import metrics_ndjson_line, result_to_wire
+
+_MAX_BODY = 64 * 1024 * 1024  # a plan of thousands of jobs is still ~MBs
+
+
+class SweepService:
+    """Asyncio HTTP server bound to one scheduler.
+
+    ``port=0`` asks the OS for a free port (read it back from :attr:`url`),
+    which is what the tests and the CI smoke job use.
+    """
+
+    def __init__(
+        self, scheduler: SweepScheduler, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown_event = asyncio.Event()
+        self._stream_seq = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def wait_for_shutdown(self) -> None:
+        """Block until ``POST /shutdown`` (or :meth:`request_shutdown`)."""
+        await self._shutdown_event.wait()
+
+    def request_shutdown(self) -> None:
+        self._shutdown_event.set()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, body = request
+            await self._route(method, target, body, writer)
+        except ConnectionResetError:
+            pass
+        except Exception as error:  # malformed request: report, keep serving
+            try:
+                await self._send_json(
+                    writer, 400, {"error": f"{type(error).__name__}: {error}"}
+                )
+            except (ConnectionResetError, RuntimeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > _MAX_BODY:
+            raise ValueError(f"body too large ({content_length} bytes)")
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, target, body
+
+    async def _send_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str = "application/json",
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  409: "Conflict", 503: "Service Unavailable"}.get(status, "OK")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, object]
+    ) -> None:
+        await self._send_response(
+            writer, status, (json.dumps(payload) + "\n").encode("utf-8")
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, target: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        scheduler = self.scheduler
+
+        if method == "GET" and path == "/healthz":
+            await self._send_json(writer, 200, {"status": "ok"})
+        elif method == "POST" and path == "/submit":
+            if scheduler.draining:
+                await self._send_json(writer, 503, {"error": "draining"})
+                return
+            plan = SweepPlan.from_wire(json.loads(body.decode("utf-8")))
+            job_id = await scheduler.submit(plan)
+            await self._send_json(writer, 200, {"job_id": job_id})
+        elif method == "GET" and path.startswith("/status/"):
+            await self._with_submission(
+                writer, path[len("/status/"):], lambda s: scheduler.status(s)
+            )
+        elif method == "GET" and path.startswith("/results/"):
+            await self._serve_results(writer, path[len("/results/"):])
+        elif method == "POST" and path.startswith("/cancel/"):
+            await self._with_submission(
+                writer,
+                path[len("/cancel/"):],
+                lambda s: {"job_id": s, "cancelled": scheduler.cancel(s)},
+            )
+        elif method == "GET" and path == "/jobs":
+            await self._send_json(writer, 200, {"jobs": scheduler.list_submissions()})
+        elif method == "GET" and path == "/metrics":
+            payload = (canonical_metrics_json(scheduler.metrics.snapshot()) + "\n")
+            await self._send_response(writer, 200, payload.encode("utf-8"))
+        elif method == "GET" and path == "/metrics/stream":
+            await self._stream_metrics(writer, query)
+        elif method == "GET" and path == "/workers":
+            await self._send_json(
+                writer,
+                200,
+                {
+                    "pids": scheduler.worker_pids(),
+                    "generation": scheduler._pool_generation,  # noqa: SLF001
+                },
+            )
+        elif method == "POST" and path == "/shutdown":
+            await self._send_json(writer, 200, {"status": "shutting down"})
+            self.request_shutdown()
+        else:
+            await self._send_json(
+                writer, 404, {"error": f"no route for {method} {path}"}
+            )
+
+    async def _with_submission(self, writer, submission_id: str, fn) -> None:
+        try:
+            payload = fn(submission_id)
+        except KeyError:
+            await self._send_json(
+                writer, 404, {"error": f"unknown submission {submission_id!r}"}
+            )
+            return
+        await self._send_json(writer, 200, payload)
+
+    async def _serve_results(self, writer, submission_id: str) -> None:
+        scheduler = self.scheduler
+        try:
+            submission = scheduler.get(submission_id)
+        except KeyError:
+            await self._send_json(
+                writer, 404, {"error": f"unknown submission {submission_id!r}"}
+            )
+            return
+        if submission.state != "done":
+            await self._send_json(
+                writer,
+                409,
+                {"error": f"submission is {submission.state}, not done",
+                 "state": submission.state},
+            )
+            return
+        await self._send_json(
+            writer,
+            200,
+            {
+                "job_id": submission_id,
+                "state": submission.state,
+                "stats": submission.execution.stats.to_dict(),
+                "results": [result_to_wire(r) for r in submission.execution.results],
+            },
+        )
+
+    async def _stream_metrics(self, writer, query: Dict[str, list]) -> None:
+        count = int(query.get("count", ["10"])[0])
+        interval = float(query.get("interval", ["0.5"])[0])
+        count = max(1, min(count, 10_000))
+        lines = []
+        for index in range(count):
+            self._stream_seq += 1
+            lines.append(
+                metrics_ndjson_line(
+                    self.scheduler.metrics.snapshot(),
+                    self._stream_seq,
+                    timestamp=time.time(),
+                )
+            )
+            if index + 1 < count:
+                await asyncio.sleep(interval)
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
+        await self._send_response(
+            writer, 200, payload, content_type="application/x-ndjson"
+        )
+
+
+async def run_service(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_dir: Optional[str] = None,
+    shards: Optional[int] = DEFAULT_SERVICE_SHARDS,
+    workers: int = 2,
+    decoder_artifact_dir: Optional[str] = None,
+    address_file: Optional[str] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Run the sweep service until ``POST /shutdown`` or SIGINT/SIGTERM.
+
+    Opens (creating or adopting) the sharded result store at ``cache_dir``,
+    migrates any flat-layout entries into shards, starts the scheduler and
+    HTTP server, and optionally writes the bound URL to ``address_file`` so
+    scripts using ``port=0`` can discover the port.
+    """
+    store = None
+    if cache_dir is not None:
+        store = ResultStore(cache_dir, shards=shards)
+        migrated = store.migrate_flat_entries()
+        if migrated:
+            print(f"migrated {migrated} flat cache entr(ies) into shards")
+    scheduler = SweepScheduler(
+        store=store,
+        workers=workers,
+        metrics=metrics,
+        decoder_artifact_dir=decoder_artifact_dir,
+    )
+    await scheduler.start()
+    service = SweepService(scheduler, host=host, port=port)
+    await service.start()
+    print(f"eraser-repro sweep service listening on {service.url}", flush=True)
+    if address_file:
+        Path(address_file).write_text(service.url + "\n", encoding="utf-8")
+
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, service.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            pass
+    try:
+        await service.wait_for_shutdown()
+    finally:
+        await service.stop()
+        await scheduler.stop(drain=True)
+
+
+def serve_forever(**kwargs) -> None:
+    """Synchronous wrapper around :func:`run_service` (the CLI entry point)."""
+    asyncio.run(run_service(**kwargs))

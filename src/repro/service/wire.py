@@ -1,0 +1,66 @@
+"""JSON wire forms for the sweep service (results, stats, NDJSON metrics).
+
+The service moves three kinds of payloads over its local HTTP API, all of
+them JSON so any client can consume them:
+
+* sweep plans — :meth:`repro.experiments.jobs.SweepPlan.to_wire`;
+* finished results — :func:`result_to_wire` / :func:`result_from_wire`,
+  a lossless round-trip of
+  :class:`~repro.experiments.results.MemoryExperimentResult` (Python's JSON
+  encoder emits shortest-round-trip float reprs, so the Section 6 statistics
+  survive the wire *bit-identically* — the property the fault-injection
+  suite asserts against a serial run);
+* telemetry — :func:`metrics_ndjson_line`, one canonical-JSON snapshot of
+  the :class:`~repro.experiments.metrics.MetricsRegistry` per line, the
+  stream a live dashboard tails.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.metrics import canonical_metrics_json
+from repro.experiments.results import MemoryExperimentResult
+
+
+def result_to_wire(result: MemoryExperimentResult) -> Dict[str, object]:
+    """JSON form of a result: scalar stats plus per-round arrays as lists."""
+    scalars, arrays = result.to_state()
+    return {
+        "scalars": scalars,
+        "arrays": {
+            name: np.asarray(array, dtype=np.float64).tolist()
+            for name, array in arrays.items()
+        },
+    }
+
+
+def result_from_wire(payload: Dict[str, object]) -> MemoryExperimentResult:
+    """Inverse of :func:`result_to_wire` (bit-identical round trip)."""
+    arrays = {
+        name: np.asarray(values, dtype=np.float64)
+        for name, values in payload["arrays"].items()  # type: ignore[union-attr]
+    }
+    return MemoryExperimentResult.from_state(payload["scalars"], arrays)
+
+
+def metrics_ndjson_line(
+    snapshot: Dict[str, object], seq: int, timestamp: Optional[float] = None
+) -> str:
+    """One NDJSON line of the live metrics stream (canonical JSON, no newline).
+
+    ``seq`` orders the stream; ``timestamp`` is wall-clock seconds (omitted
+    from the payload when ``None`` so that lines are deterministic in tests).
+    """
+    payload: Dict[str, object] = {"seq": int(seq), "metrics": snapshot}
+    if timestamp is not None:
+        payload["ts"] = float(timestamp)
+    return canonical_metrics_json(payload)
+
+
+def parse_metrics_ndjson(line: str) -> Dict[str, object]:
+    """Parse one line produced by :func:`metrics_ndjson_line`."""
+    return json.loads(line)
