@@ -362,17 +362,30 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.service.server import serve_forever
 
-    serve_forever(
-        host=args.host,
-        port=args.port,
-        cache_dir=args.cache_dir,
-        shards=args.shards,
-        workers=args.workers,
-        decoder_artifact_dir=args.decoder_artifact_dir,
-        address_file=args.address_file,
-    )
+    journal_dir = None
+    if not args.no_journal:
+        journal_dir = args.journal_dir or os.path.join(args.cache_dir, "journal")
+    try:
+        serve_forever(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            shards=args.shards,
+            workers=args.workers,
+            decoder_artifact_dir=args.decoder_artifact_dir,
+            address_file=args.address_file,
+            journal_dir=journal_dir,
+            max_pending_submissions=args.max_pending_submissions,
+            max_inflight_chunks=args.max_inflight_chunks,
+            retry_after=args.retry_after,
+        )
+    except RuntimeError as error:  # e.g. a live pidfile: refuse to double-start
+        print(f"error: {error}")
+        return 1
     return 0
 
 
@@ -393,9 +406,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         seed=args.seed,
         chunk_shots=args.chunk_shots,
     )
-    client = SweepServiceClient(args.service_url, timeout=args.timeout)
+    client = SweepServiceClient(
+        args.service_url, timeout=args.timeout, retries=args.retries
+    )
     try:
-        job_id = client.submit(plan)
+        job_id = client.submit(plan, submission_key=args.submission_key)
         print(f"submitted {spec.experiment_id} as {job_id}")
         if args.no_wait:
             return 0
@@ -620,7 +635,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--address-file",
         type=str,
         default=None,
-        help="Write the bound URL here once listening (useful with --port 0).",
+        help="Write the bound URL here once listening (useful with --port 0); "
+        "a PID file is written next to it.",
+    )
+    serve.add_argument(
+        "--journal-dir",
+        type=str,
+        default=None,
+        help="Durable submission-journal directory (default: <cache-dir>/journal). "
+        "A serve killed mid-sweep replays it on restart and resumes live "
+        "submissions without re-executing completed chunks.",
+    )
+    serve.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="Run without the submission journal (no crash recovery).",
+    )
+    serve.add_argument(
+        "--max-pending-submissions",
+        type=int,
+        default=None,
+        help="Admission control: reject new submissions (HTTP 429 + Retry-After) "
+        "while this many are already active.",
+    )
+    serve.add_argument(
+        "--max-inflight-chunks",
+        type=int,
+        default=None,
+        help="Admission control: reject new submissions while the chunk queue "
+        "is at least this deep.",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        help="Retry-After hint (seconds) sent with saturation/draining "
+        "rejections.",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -659,6 +709,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-wait",
         action="store_true",
         help="Print the submission id and return without waiting for results.",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="Client-side retry budget for connection errors/5xx/429 "
+        "(jittered exponential backoff, honors Retry-After).",
+    )
+    submit.add_argument(
+        "--submission-key",
+        type=str,
+        default=None,
+        help="Explicit idempotency key; a retried submit with the same key "
+        "dedupes onto the existing submission (default: a fresh random key "
+        "per invocation).",
     )
     submit.set_defaults(func=_cmd_submit)
 

@@ -90,6 +90,9 @@ class SweepStats:
     #: Decoding-graph artifact entries built up-front before fan-out, or
     #: ``None`` when no pending job used an artifact store.
     artifacts_prebuilt: Optional[int] = None
+    #: Chunks reused from the crash-recovery spill store instead of being
+    #: re-executed (service restarts only; ``0`` everywhere else).
+    chunks_recovered: int = 0
 
     def merge(self, other: "SweepStats") -> "SweepStats":
         """Accumulate another run's statistics into this one (returns self)."""
@@ -98,6 +101,7 @@ class SweepStats:
         self.jobs_run += other.jobs_run
         self.chunks_run += other.chunks_run
         self.elapsed_seconds += other.elapsed_seconds
+        self.chunks_recovered += other.chunks_recovered
         if other.artifacts_prebuilt is not None:
             self.artifacts_prebuilt = (
                 self.artifacts_prebuilt or 0
@@ -113,6 +117,7 @@ class SweepStats:
             "chunks_run": self.chunks_run,
             "elapsed_seconds": self.elapsed_seconds,
             "artifacts_prebuilt": self.artifacts_prebuilt,
+            "chunks_recovered": self.chunks_recovered,
         }
 
     @classmethod
@@ -126,6 +131,7 @@ class SweepStats:
             chunks_run=int(payload.get("chunks_run", 0)),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             artifacts_prebuilt=None if artifacts is None else int(artifacts),
+            chunks_recovered=int(payload.get("chunks_recovered", 0)),
         )
 
     def summary(self) -> str:
@@ -136,6 +142,8 @@ class SweepStats:
         )
         if self.artifacts_prebuilt is not None:
             text += f", {self.artifacts_prebuilt} decoder artifact(s) prebuilt"
+        if self.chunks_recovered:
+            text += f", {self.chunks_recovered} chunk(s) recovered"
         return text
 
 
@@ -172,10 +180,19 @@ class PlanExecution:
 
     When a :class:`~repro.experiments.metrics.MetricsRegistry` is supplied,
     cache and execution traffic is counted into it (``chunks_executed``,
-    ``chunks_cached``, ``sweep_jobs_completed``, ``sweep_jobs_cached``) so
-    that a live telemetry snapshot reconciles exactly with
-    :attr:`stats`: chunks executed plus chunks cached equals the plan's
-    total chunk count.
+    ``chunks_cached``, ``chunks_recovered``, ``sweep_jobs_completed``,
+    ``sweep_jobs_cached``) so that a live telemetry snapshot reconciles
+    exactly with :attr:`stats`: chunks executed plus chunks cached plus
+    chunks recovered equals the plan's total chunk count.
+
+    When a ``chunk_store`` is supplied (the sweep service's journal-backed
+    crash-recovery mode), every executed chunk except a job's last is also
+    spilled to it under a chunk-granular content address, and construction
+    reloads any spilled chunks for still-pending jobs.  A service killed
+    mid-job therefore resumes without re-executing the chunks that already
+    landed — and because chunk streams are position-keyed, the recovered
+    statistics are bit-identical to an uninterrupted run.  Spilled entries
+    are deleted the moment their job's merged result persists.
     """
 
     def __init__(
@@ -183,16 +200,19 @@ class PlanExecution:
         plan: SweepPlan,
         store: Optional[ResultStore] = None,
         metrics: Optional[MetricsRegistry] = None,
+        chunk_store: Optional[ResultStore] = None,
     ) -> None:
         self.plan = plan
         self.store = store
         self.metrics = metrics
+        self.chunk_store = chunk_store
         self.stats = SweepStats(jobs_total=len(plan.jobs))
         self.results: List[Optional[MemoryExperimentResult]] = [None] * len(plan.jobs)
         self.pending: List[int] = []
         self._chunk_results: Dict[Tuple[int, int], MemoryExperimentResult] = {}
         self._remaining: Dict[int, int] = {}
         self._cached_chunks = 0
+        self._recovered_chunks = 0
         for index, job in enumerate(plan.jobs):
             cached = store.load(job.cache_key()) if store is not None else None
             if cached is not None:
@@ -206,15 +226,42 @@ class PlanExecution:
                 self.pending.append(index)
                 self._remaining[index] = job.num_chunks
         self.stats.jobs_run = len(self.pending)
+        if chunk_store is not None:
+            self._recover_spilled_chunks()
 
     # ------------------------------------------------------------------
+    def _chunk_key(self, job_index: int, chunk: int) -> str:
+        """Content address of one chunk's spilled result.
+
+        Derived from the owning job's full configuration (which already
+        embeds the plan entropy and the job's spawn key) plus the chunk
+        index, so a spilled chunk can only ever be recovered by the exact
+        chunk of the exact job that produced it.
+        """
+        from repro.experiments.store import config_hash
+
+        return config_hash(
+            {"chunk": chunk, "chunk_of": self.plan.jobs[job_index].config_dict()}
+        )
+
+    def _recover_spilled_chunks(self) -> None:
+        """Reload chunks spilled by a previous (crashed) service process."""
+        assert self.chunk_store is not None
+        for job_index in list(self.pending):
+            for chunk in range(self.plan.jobs[job_index].num_chunks):
+                spilled = self.chunk_store.load(self._chunk_key(job_index, chunk))
+                if spilled is not None:
+                    self.record_chunk(job_index, chunk, spilled, recovered=True)
+
     @property
     def tasks(self) -> List[Tuple[int, int]]:
         """Every (job index, chunk index) pair that still needs simulation."""
         return [
             (job_index, chunk)
             for job_index in self.pending
+            if self.results[job_index] is None
             for chunk in range(self.plan.jobs[job_index].num_chunks)
+            if (job_index, chunk) not in self._chunk_results
         ]
 
     @property
@@ -228,7 +275,7 @@ class PlanExecution:
     @property
     def chunks_done(self) -> int:
         """Chunks accounted for so far (cached jobs count all their chunks)."""
-        return self.stats.chunks_run + self._cached_chunks
+        return self.stats.chunks_run + self._cached_chunks + self._recovered_chunks
 
     def prebuild_artifacts(self) -> None:
         """Build each pending decode job's decoder artifacts once, up-front."""
@@ -244,7 +291,11 @@ class PlanExecution:
         self.stats.artifacts_prebuilt = prebuild_job_artifacts(artifact_jobs)
 
     def record_chunk(
-        self, job_index: int, chunk: int, result: MemoryExperimentResult
+        self,
+        job_index: int,
+        chunk: int,
+        result: MemoryExperimentResult,
+        recovered: bool = False,
     ) -> bool:
         """Account one executed chunk; returns True when its job completed.
 
@@ -254,14 +305,29 @@ class PlanExecution:
         jobs.  Duplicate deliveries of a chunk (a retried worker whose first
         attempt actually finished) are harmless: the rerun is bit-identical
         by seed discipline, and the chunk is only counted once.
+
+        ``recovered=True`` marks a chunk reloaded from the crash-recovery
+        spill store rather than freshly executed: it counts toward
+        ``chunks_recovered`` instead of ``chunks_run``/``chunks_executed``.
+        When a ``chunk_store`` is configured, every freshly-executed chunk
+        except the job's last is spilled to it so a crash between job
+        completions loses nothing already simulated.
         """
         duplicate = (job_index, chunk) in self._chunk_results
         self._chunk_results[(job_index, chunk)] = result
         if duplicate:
             return False
-        self.stats.chunks_run += 1
-        if self.metrics is not None:
-            self.metrics.counter("chunks_executed").inc()
+        if recovered:
+            self._recovered_chunks += 1
+            self.stats.chunks_recovered += 1
+            if self.metrics is not None:
+                self.metrics.counter("chunks_recovered").inc()
+        else:
+            self.stats.chunks_run += 1
+            if self.metrics is not None:
+                self.metrics.counter("chunks_executed").inc()
+            if self.chunk_store is not None and self._remaining[job_index] > 1:
+                self.chunk_store.save(self._chunk_key(job_index, chunk), result)
         self._remaining[job_index] -= 1
         if self._remaining[job_index] > 0:
             return False
@@ -275,6 +341,9 @@ class PlanExecution:
         self.results[job_index] = merged
         if self.metrics is not None:
             self.metrics.counter("sweep_jobs_completed").inc()
+        if self.chunk_store is not None:
+            for spilled_chunk in range(job.num_chunks):
+                self.chunk_store.remove(self._chunk_key(job_index, spilled_chunk))
         return True
 
     def finish(self, elapsed_seconds: float) -> SweepStats:

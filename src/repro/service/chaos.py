@@ -1,0 +1,389 @@
+"""Chaos harness for the sweep service: crash, reset, and tear on demand.
+
+Reusable fault injectors behind the crash-recovery guarantees of the sweep
+service (the Section 6 Monte-Carlo infrastructure): the test suites and the
+CI chaos job use these to prove that a SIGKILLed server resumes its journal
+with zero re-executed completed chunks, that clients retry through
+connection resets, and that torn journal tails read as misses — all while
+the position-keyed seed discipline keeps every recovered statistic
+bit-identical to an uninterrupted run.
+
+Three tools:
+
+* :class:`ChaosProxy` — a TCP proxy in front of a live service that
+  injects connection **resets** (RST before any bytes flow) and
+  **dropped responses** (the request reaches the server, the response is
+  discarded — the ambiguous-failure window idempotent submit exists for),
+  plus optional fixed latency.
+* :class:`ServerProcess` — a real ``eraser-repro serve`` subprocess with
+  journal, cache and address file under one run directory; supports
+  ``sigkill()`` mid-run and ``start()``-again-on-the-same-port, which is
+  exactly the restart-and-resume scenario.
+* Journal tampering helpers (:func:`tear_journal_tail`,
+  :func:`append_garbage`) emulating the torn final record a hard kill can
+  leave behind.
+
+Everything is stdlib-only and loopback-only: this is a local fault
+harness, not a load generator.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.service.journal import JOURNAL_FILE
+
+#: Fault modes understood by :meth:`ChaosProxy.inject`.
+FAULT_RESET = "reset"
+FAULT_DROP_RESPONSE = "drop-response"
+
+
+class _PortStillBusy(RuntimeError):
+    """A serve relaunch lost the race for its previous port (retryable)."""
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of a sweep service.
+
+    Point a :class:`~repro.service.client.SweepServiceClient` at
+    :attr:`url`; by default every connection is forwarded transparently to
+    ``upstream_url``.  Queue faults with :meth:`inject`: each queued fault
+    consumes exactly one incoming connection, so ``inject("reset", 3)``
+    makes the next three requests fail with a connection reset and the
+    fourth succeed — which is how the tests prove the client's retry loop
+    converges.
+
+    Args:
+        upstream_url: The real service root (``http://127.0.0.1:NNNN``).
+        latency: Fixed delay (seconds) added to every connection.
+    """
+
+    def __init__(self, upstream_url: str, latency: float = 0.0) -> None:
+        split = urlsplit(upstream_url)
+        self._upstream: Tuple[str, int] = (split.hostname, split.port)
+        self.latency = float(latency)
+        self._faults: "deque[str]" = deque()
+        self._lock = threading.Lock()
+        self.connections_handled = 0
+        self.faults_injected = 0
+        self._closed = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(32)
+        self.port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="chaos-proxy-accept"
+        )
+        self._accept_thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def inject(self, mode: str, count: int = 1) -> None:
+        """Queue ``count`` one-connection faults (``reset``/``drop-response``)."""
+        if mode not in (FAULT_RESET, FAULT_DROP_RESPONSE):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        with self._lock:
+            self._faults.extend([mode] * int(count))
+
+    def pending_faults(self) -> int:
+        with self._lock:
+            return len(self._faults)
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _next_fault(self) -> Optional[str]:
+        with self._lock:
+            self.connections_handled += 1
+            return self._faults.popleft() if self._faults else None
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True, name="chaos-proxy-conn"
+            ).start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        fault = self._next_fault()
+        if self.latency:
+            time.sleep(self.latency)
+        if fault == FAULT_RESET:
+            with self._lock:
+                self.faults_injected += 1
+            # SO_LINGER with zero timeout turns close() into an RST — the
+            # client's connection dies before a single response byte.
+            conn.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            conn.close()
+            return
+        drop_response = fault == FAULT_DROP_RESPONSE
+        if drop_response:
+            with self._lock:
+                self.faults_injected += 1
+        try:
+            upstream = socket.create_connection(self._upstream, timeout=30)
+        except OSError:
+            conn.close()
+            return
+        forward = threading.Thread(
+            target=self._pump,
+            args=(conn, upstream),
+            daemon=True,
+            name="chaos-proxy-up",
+        )
+        forward.start()
+        # The service speaks one-request-per-connection, so the upstream
+        # response ends with EOF; forwarding (or discarding) until then is a
+        # complete response cycle.
+        self._pump(upstream, None if drop_response else conn)
+        for sock in (conn, upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _pump(src: socket.socket, dst: Optional[socket.socket]) -> None:
+        try:
+            while True:
+                data = src.recv(65536)
+                if not data:
+                    break
+                if dst is not None:
+                    dst.sendall(data)
+        except OSError:
+            pass
+        if dst is not None:
+            try:
+                dst.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+
+
+class ServerProcess:
+    """A real ``eraser-repro serve`` subprocess under one run directory.
+
+    Lays out ``cache/``, ``journal/`` and the address file under
+    ``run_dir``; :meth:`start` blocks until the service publishes its URL.
+    The first start binds an OS-chosen free port and every later start
+    reuses it, so a client can ride through :meth:`sigkill` + ``start()``
+    with plain connection-error retries.
+
+    Args:
+        run_dir: Directory owning all service state (created if missing).
+        workers: Worker processes for the serve subprocess.
+        extra_args: Additional ``serve`` CLI flags (e.g. admission limits).
+    """
+
+    def __init__(self, run_dir, workers: int = 1, extra_args: Tuple[str, ...] = ()) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.cache_dir = self.run_dir / "cache"
+        self.journal_dir = self.run_dir / "journal"
+        self.address_file = self.run_dir / "address"
+        self.log_file = self.run_dir / "serve.log"
+        self.workers = int(workers)
+        self.extra_args = tuple(extra_args)
+        self.port = 0
+        self.process: Optional[subprocess.Popen] = None
+        self.url: Optional[str] = None
+
+    def command(self) -> List[str]:
+        return [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(self.port),
+            "--workers",
+            str(self.workers),
+            "--cache-dir",
+            str(self.cache_dir),
+            "--journal-dir",
+            str(self.journal_dir),
+            "--address-file",
+            str(self.address_file),
+            *self.extra_args,
+        ]
+
+    @staticmethod
+    def environ() -> dict:
+        """A subprocess environment whose ``PYTHONPATH`` can import ``repro``."""
+        env = dict(os.environ)
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (src_dir, env.get("PYTHONPATH")) if part
+        )
+        return env
+
+    def start(self, timeout: float = 60.0) -> str:
+        """Launch serve and return its URL once the address file appears.
+
+        A restart racing the previous incarnation's port release (stray
+        FIN-handshakes, an orphan still unwinding) is retried until the
+        deadline, so ``sigkill()`` + ``start()`` is reliable back-to-back.
+        """
+        if self.process is not None and self.process.poll() is None:
+            raise RuntimeError("server process is already running")
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self._start_once(deadline)
+            except _PortStillBusy:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"port {self.port} still busy after {timeout}s; "
+                        f"log: {self.read_log()[-2000:]}"
+                    )
+                time.sleep(0.2)
+
+    def _start_once(self, deadline: float) -> str:
+        try:
+            self.address_file.unlink()
+        except FileNotFoundError:
+            pass
+        env = self.environ()
+        log = open(self.log_file, "a", encoding="utf-8")
+        try:
+            # A fresh session: sigkill() can nuke the whole process group
+            # (serve + its pool workers), the way a machine crash would.
+            self.process = subprocess.Popen(
+                self.command(),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+                start_new_session=True,
+            )
+        finally:
+            log.close()
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                log_tail = self.read_log()[-2000:]
+                if "address already in use" in log_tail.lower():
+                    raise _PortStillBusy()
+                raise RuntimeError(
+                    f"serve exited with code {self.process.returncode} before "
+                    f"publishing its address; log: {log_tail}"
+                )
+            try:
+                url = self.address_file.read_text(encoding="utf-8").strip()
+            except OSError:
+                url = ""
+            if url:
+                self.url = url
+                self.port = urlsplit(url).port
+                return url
+            time.sleep(0.05)
+        raise TimeoutError("serve did not publish an address in time")
+
+    def read_log(self) -> str:
+        try:
+            return self.log_file.read_text(encoding="utf-8")
+        except OSError:
+            return ""
+
+    @property
+    def journal_path(self) -> Path:
+        return self.journal_dir / JOURNAL_FILE
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def sigkill_parent_only(self) -> None:
+        """SIGKILL just the serve process, stranding its pool workers.
+
+        This is the operator drill (``kill -9 $(cat serve.pid)``): the
+        orphaned workers must notice the parent change and self-exit —
+        their heartbeat watchdog — or they would keep the inherited
+        listening socket bound forever and block the restart.
+        """
+        if self.process is None:
+            return
+        try:
+            self.process.kill()
+        except OSError:
+            pass
+        self.process.wait()
+
+    def sigkill(self) -> None:
+        """Hard-kill serve and its worker group (no cleanup, no compaction).
+
+        Killing the process group matters: pool workers forked by the serve
+        process inherit its listening socket, and a surviving orphan would
+        keep the port bound and block the restart.
+        """
+        if self.process is None:
+            return
+        try:
+            os.killpg(self.process.pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            try:
+                self.process.kill()
+            except OSError:
+                pass
+        self.process.wait()
+
+    def terminate(self, timeout: float = 30.0) -> None:
+        """Graceful stop (SIGTERM → drain), falling back to SIGKILL."""
+        if self.process is None or self.process.poll() is not None:
+            return
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.sigkill()
+
+    def __enter__(self) -> "ServerProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.terminate()
+
+
+# ----------------------------------------------------------------------
+# Journal tampering: emulate what a hard kill can leave on disk.
+# ----------------------------------------------------------------------
+def tear_journal_tail(journal_path, drop_bytes: int = 9) -> None:
+    """Truncate the journal mid-record, as an interrupted write would."""
+    path = Path(journal_path)
+    data = path.read_bytes()
+    path.write_bytes(data[: max(0, len(data) - int(drop_bytes))])
+
+
+def append_garbage(journal_path, payload: bytes = b"not a journal record\n") -> None:
+    """Append bytes that can never checksum-validate (replay must drop them)."""
+    with open(journal_path, "ab") as handle:
+        handle.write(payload)

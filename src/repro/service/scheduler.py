@@ -25,6 +25,16 @@ Supervision and fault tolerance:
   the same plan: completed jobs are cache hits, incomplete ones re-run.
 * **Graceful drain** — :meth:`SweepScheduler.drain` stops accepting
   submissions and waits for every accepted sweep to reach a terminal state.
+* **Durable journal** — with a
+  :class:`~repro.service.journal.SubmissionJournal` attached, every
+  acceptance is WAL-logged before admission and replayed on the next
+  :meth:`SweepScheduler.start`, so a SIGKILLed *service* process resumes
+  its live submissions (persisted jobs and spilled chunks re-execute zero
+  times) with the same ids and idempotency keys.
+* **Admission control** — optional watermarks on active submissions and
+  chunk-queue depth; a saturated scheduler raises
+  :class:`SchedulerSaturated` (the HTTP layer's 429 + ``Retry-After``),
+  and :meth:`SweepScheduler.health` reports ok/degraded/draining.
 
 All activity is counted into one
 :class:`~repro.experiments.metrics.MetricsRegistry` (job lifecycle, chunk
@@ -55,6 +65,7 @@ from repro.experiments.jobs import SweepPlan
 from repro.experiments.metrics import MetricsRegistry
 from repro.experiments.results import MemoryExperimentResult
 from repro.experiments.store import ResultStore
+from repro.service.journal import SubmissionJournal
 
 STATE_QUEUED = "queued"
 STATE_RUNNING = "running"
@@ -63,6 +74,27 @@ STATE_FAILED = "failed"
 STATE_CANCELLED = "cancelled"
 
 TERMINAL_STATES = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
+
+
+class SchedulerDraining(RuntimeError):
+    """Submission rejected because the scheduler is draining for shutdown."""
+
+    def __init__(self, retry_after: float = 1.0) -> None:
+        super().__init__("scheduler is draining and not accepting submissions")
+        self.retry_after = retry_after
+
+
+class SchedulerSaturated(RuntimeError):
+    """Submission rejected by admission control (queue/watermark full).
+
+    Carries the ``retry_after`` hint the HTTP layer turns into a 429 with a
+    ``Retry-After`` header, so well-behaved clients back off instead of
+    hammering a saturated service.
+    """
+
+    def __init__(self, reason: str, retry_after: float) -> None:
+        super().__init__(f"service saturated: {reason}")
+        self.retry_after = retry_after
 
 
 def _worker_heartbeat(heartbeat_dir: str, interval: float) -> None:
@@ -80,6 +112,15 @@ def _worker_heartbeat(heartbeat_dir: str, interval: float) -> None:
     into the *parent's* pipe and trick the service into a graceful shutdown
     mid-recovery.  Resetting the wakeup fd and dispositions here keeps
     worker signals inside the worker.
+
+    The beat doubles as an orphan watchdog: a SIGKILLed serve process
+    cannot clean up its pool, and the orphans would otherwise linger
+    forever (every worker holds a copy of the pool queue's write end, so
+    no EOF ever arrives) while keeping the *listening socket* they
+    inherited on fork bound — blocking the restart the crash-recovery
+    journal exists for.  When the parent changes (re-parented to init/a
+    subreaper), the worker hard-exits within one heartbeat interval,
+    releasing every inherited fd.
     """
     import signal as _signal
 
@@ -90,9 +131,12 @@ def _worker_heartbeat(heartbeat_dir: str, interval: float) -> None:
     except (ValueError, OSError):  # non-main thread or exotic platform
         pass
     path = os.path.join(heartbeat_dir, f"worker-{os.getpid()}")
+    parent = os.getppid()
 
     def _beat() -> None:
         while True:
+            if os.getppid() != parent:
+                os._exit(1)  # orphaned: the serve process is gone
             try:
                 with open(path, "w", encoding="utf-8") as handle:
                     handle.write(f"{time.time():.6f}")
@@ -106,10 +150,18 @@ def _worker_heartbeat(heartbeat_dir: str, interval: float) -> None:
 class SweepSubmission:
     """One accepted sweep plan and its execution state inside the scheduler."""
 
-    def __init__(self, submission_id: str, plan: SweepPlan, execution: PlanExecution) -> None:
+    def __init__(
+        self,
+        submission_id: str,
+        plan: SweepPlan,
+        execution: PlanExecution,
+        key: Optional[str] = None,
+    ) -> None:
         self.id = submission_id
         self.plan = plan
         self.execution = execution
+        #: Client-supplied idempotency key (dedupes retried submits).
+        self.key = key
         self.state = STATE_QUEUED
         self.error: Optional[str] = None
         self.created = time.time()
@@ -132,6 +184,7 @@ class SweepSubmission:
             "chunks_total": self.plan.total_chunks,
             "chunks_done": execution.chunks_done,
             "chunks_executed": execution.stats.chunks_run,
+            "chunks_recovered": execution.stats.chunks_recovered,
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
@@ -157,6 +210,20 @@ class SweepScheduler:
             supervisor scans at the same cadence.
         decoder_artifact_dir: Persistent decoder-artifact store inherited by
             every submitted job (perf-only, like the executor's knob).
+        journal: Durable submission journal
+            (:class:`~repro.service.journal.SubmissionJournal`).  When set,
+            every acceptance is logged before admission, terminal states are
+            logged as they happen, and :meth:`start` replays the log to
+            resume submissions a previous (crashed) process left live.
+            Executed chunks of incomplete jobs are additionally spilled to a
+            chunk store under the journal directory, so recovery re-executes
+            zero already-completed chunks.
+        max_pending_submissions: Admission-control watermark on concurrently
+            active (non-terminal) submissions; ``None`` disables the limit.
+        max_inflight_chunks: Admission-control watermark on the chunk queue
+            depth; ``None`` disables the limit.
+        retry_after: The ``Retry-After`` hint (seconds) attached to
+            saturation/draining rejections.
     """
 
     def __init__(
@@ -168,6 +235,10 @@ class SweepScheduler:
         retry_backoff: float = 0.1,
         heartbeat_interval: float = 0.25,
         decoder_artifact_dir: Optional[str] = None,
+        journal: Optional[SubmissionJournal] = None,
+        max_pending_submissions: Optional[int] = None,
+        max_inflight_chunks: Optional[int] = None,
+        retry_after: float = 0.5,
     ) -> None:
         self.store = store
         self.workers = max(1, int(workers))
@@ -176,7 +247,15 @@ class SweepScheduler:
         self.retry_backoff = float(retry_backoff)
         self.heartbeat_interval = float(heartbeat_interval)
         self.decoder_artifact_dir = decoder_artifact_dir
+        self.journal = journal
+        self.max_pending_submissions = max_pending_submissions
+        self.max_inflight_chunks = max_inflight_chunks
+        self.retry_after = float(retry_after)
+        self._chunk_store: Optional[ResultStore] = None
+        if journal is not None:
+            self._chunk_store = ResultStore(journal.directory / "chunk-spill")
         self._submissions: Dict[str, SweepSubmission] = {}
+        self._keys: Dict[str, str] = {}
         self._ids = itertools.count(1)
         self._draining = False
         self._started = False
@@ -204,6 +283,8 @@ class SweepScheduler:
             self._supervise(), name="sweep-supervisor"
         )
         self._started = True
+        if self.journal is not None:
+            await self._recover()
 
     def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -246,6 +327,8 @@ class SweepScheduler:
             pool.shutdown(wait=drain, cancel_futures=True)
         if self._heartbeat_dir:
             shutil.rmtree(self._heartbeat_dir, ignore_errors=True)
+        if self.journal is not None:
+            self.journal.close()
         self._started = False
 
     @property
@@ -255,24 +338,62 @@ class SweepScheduler:
     # ------------------------------------------------------------------
     # Submissions
     # ------------------------------------------------------------------
-    async def submit(self, plan: SweepPlan) -> str:
+    async def submit(self, plan: SweepPlan, submission_key: Optional[str] = None) -> str:
         """Accept a plan; returns the submission id immediately.
 
         Cached jobs are resolved synchronously (a fully-cached plan is done
         before this returns — the warm-resubmit path executes zero chunks);
         everything else becomes queued chunk tasks.
+
+        ``submission_key`` is an idempotency token: a retried submit with a
+        key the scheduler has already seen returns the existing submission's
+        id instead of admitting the plan twice, which is what makes a retry
+        after an ambiguous failure (response lost, connection reset) safe.
+        Raises :class:`SchedulerDraining` during shutdown and
+        :class:`SchedulerSaturated` when admission control rejects the plan.
         """
         if not self._started:
             raise RuntimeError("scheduler is not running")
         if self._draining:
-            raise RuntimeError("scheduler is draining and not accepting submissions")
-        plan = apply_decoder_artifact_dir(plan, self.decoder_artifact_dir)
+            raise SchedulerDraining(self.retry_after)
+        if submission_key:
+            existing = self._keys.get(submission_key)
+            if existing is not None:
+                self.metrics.counter("submissions_deduped").inc()
+                return existing
+        reason = self._saturation_reason()
+        if reason is not None:
+            self.metrics.counter("submissions_rejected_saturated").inc()
+            raise SchedulerSaturated(reason, self.retry_after)
         submission_id = f"sweep-{next(self._ids):06d}"
+        if self.journal is not None:
+            # WAL discipline: the acceptance is durable before any effect.
+            self.journal.append(
+                {
+                    "event": "accepted",
+                    "id": submission_id,
+                    "key": submission_key,
+                    "ts": time.time(),
+                    "plan": plan.to_wire(),
+                }
+            )
+        return await self._admit(plan, submission_id, submission_key)
+
+    async def _admit(
+        self,
+        plan: SweepPlan,
+        submission_id: str,
+        submission_key: Optional[str] = None,
+    ) -> str:
+        """Admission core shared by :meth:`submit` and journal recovery."""
+        plan = apply_decoder_artifact_dir(plan, self.decoder_artifact_dir)
         execution = await asyncio.to_thread(
-            PlanExecution, plan, self.store, self.metrics
+            PlanExecution, plan, self.store, self.metrics, self._chunk_store
         )
-        submission = SweepSubmission(submission_id, plan, execution)
+        submission = SweepSubmission(submission_id, plan, execution, key=submission_key)
         self._submissions[submission_id] = submission
+        if submission_key:
+            self._keys[submission_key] = submission_id
         self.metrics.counter("jobs_submitted").inc()
         self.metrics.counter("sweep_jobs_total").inc(len(plan.jobs))
         if execution.is_complete:
@@ -280,11 +401,102 @@ class SweepScheduler:
         else:
             submission.state = STATE_RUNNING
             submission.started = time.time()
+            self._journal_event("started", submission)
             await asyncio.to_thread(execution.prebuild_artifacts)
             for job_index, chunk in execution.tasks:
                 self._queue.put_nowait((submission, job_index, chunk, 0))
         self._update_gauges()
         return submission_id
+
+    async def _recover(self) -> None:
+        """Replay the journal: resume every submission the crash left live.
+
+        Re-admitted submissions keep their original ids (the id counter
+        restarts above the highest journaled serial), their idempotency keys
+        rebind, and their executions reload persisted jobs from the result
+        store plus spilled chunks from the chunk store — so already-finished
+        work re-executes zero times and the resumed statistics are
+        bit-identical to an uninterrupted run.
+        """
+        assert self.journal is not None
+        recovery = await asyncio.to_thread(self.journal.replay)
+        self.metrics.counter("journal_replays").inc()
+        if recovery.dropped:
+            self.metrics.counter("journal_torn_records_dropped").inc(recovery.dropped)
+        self._ids = itertools.count(recovery.max_serial + 1)
+        for submission_id, record in recovery.live.items():
+            plan = SweepPlan.from_wire(record["plan"])
+            key = record.get("key") or None
+            self.metrics.counter("submissions_recovered").inc()
+            await self._admit(plan, submission_id, key)
+        # Startup compaction drops dead records and any torn tail for free.
+        await asyncio.to_thread(self.journal.compact, self._live_accepted_records())
+
+    def _live_accepted_records(self) -> List[Dict[str, object]]:
+        """The ``accepted`` records a compacted journal must preserve."""
+        return [
+            {
+                "event": "accepted",
+                "id": submission.id,
+                "key": submission.key,
+                "ts": submission.created,
+                "plan": submission.plan.to_wire(),
+            }
+            for submission in self._submissions.values()
+            if submission.state not in TERMINAL_STATES
+        ]
+
+    def _journal_event(self, event: str, submission: SweepSubmission) -> None:
+        if self.journal is None:
+            return
+        self.journal.append({"event": event, "id": submission.id, "ts": time.time()})
+        if event in ("completed", "failed", "cancelled"):
+            self.journal.maybe_compact(self._live_accepted_records())
+
+    def _saturation_reason(self) -> Optional[str]:
+        """Why admission control would reject right now (``None`` = admit)."""
+        if self.max_pending_submissions is not None:
+            active = sum(
+                1
+                for submission in self._submissions.values()
+                if submission.state not in TERMINAL_STATES
+            )
+            if active >= self.max_pending_submissions:
+                return (
+                    f"{active} active submission(s) at the "
+                    f"max_pending_submissions={self.max_pending_submissions} limit"
+                )
+        if self.max_inflight_chunks is not None and self._started:
+            depth = self._queue.qsize()
+            if depth >= self.max_inflight_chunks:
+                return (
+                    f"chunk queue depth {depth} at the "
+                    f"max_inflight_chunks={self.max_inflight_chunks} limit"
+                )
+        return None
+
+    def health(self) -> Dict[str, object]:
+        """The ``/healthz`` payload: ok / degraded (saturated) / draining."""
+        if self._draining:
+            status = "draining"
+        elif self._saturation_reason() is not None:
+            status = "degraded"
+        else:
+            status = "ok"
+        active = sum(
+            1
+            for submission in self._submissions.values()
+            if submission.state not in TERMINAL_STATES
+        )
+        payload: Dict[str, object] = {
+            "status": status,
+            "queue_depth": self._queue.qsize() if self._started else 0,
+            "active_submissions": active,
+            "workers_alive": int(self.metrics.gauge("workers_alive").value),
+        }
+        if status != "ok":
+            payload["retry_after"] = self.retry_after
+        return payload
 
     def get(self, submission_id: str) -> SweepSubmission:
         try:
@@ -314,6 +526,7 @@ class SweepScheduler:
         submission.state = STATE_CANCELLED
         submission.finished = time.time()
         submission.done_event.set()
+        self._journal_event("cancelled", submission)
         self.metrics.counter("jobs_cancelled").inc()
         self._update_gauges()
         return True
@@ -333,6 +546,7 @@ class SweepScheduler:
         elapsed = submission.finished - (submission.started or submission.created)
         submission.execution.finish(elapsed)
         submission.done_event.set()
+        self._journal_event("completed", submission)
         self.metrics.counter("jobs_completed").inc()
         self._update_gauges()
 
@@ -343,6 +557,7 @@ class SweepScheduler:
         submission.error = f"{type(error).__name__}: {error}"
         submission.finished = time.time()
         submission.done_event.set()
+        self._journal_event("failed", submission)
         self.metrics.counter("jobs_failed").inc()
         self._update_gauges()
 

@@ -5,8 +5,12 @@ HTTP API so the Section 6 sweeps can be driven from the CLI, CI, or the
 report builder without importing the scheduler in-process.  Endpoints:
 
 ======================================  =======================================
-``POST /submit``                        body = ``SweepPlan.to_wire()``;
-                                        returns ``{"job_id": ...}``
+``POST /submit``                        body = ``SweepPlan.to_wire()`` or
+                                        ``{"plan": ..., "submission_key": ...}``
+                                        (idempotent retry); returns
+                                        ``{"job_id": ...}``; 429 +
+                                        ``Retry-After`` when saturated, 503
+                                        when draining
 ``GET /status/<id>``                    submission state + chunk progress
 ``GET /results/<id>``                   results (wire form) + ``SweepStats``
 ``POST /cancel/<id>``                   cancel a queued/running submission
@@ -14,7 +18,8 @@ report builder without importing the scheduler in-process.  Endpoints:
 ``GET /metrics/stream?count=N``         NDJSON metrics stream (live telemetry)
 ``GET /workers``                        worker PIDs + pool generation (lets a
                                         fault harness SIGKILL a real worker)
-``GET /healthz``                        liveness probe
+``GET /healthz``                        health probe: ok/degraded/draining +
+                                        queue depth and live-worker count
 ``POST /shutdown``                      drain and stop the server
 ======================================  =======================================
 
@@ -37,7 +42,17 @@ from urllib.parse import parse_qs, urlsplit
 from repro.experiments.jobs import SweepPlan
 from repro.experiments.metrics import MetricsRegistry, canonical_metrics_json
 from repro.experiments.store import DEFAULT_SERVICE_SHARDS, ResultStore
-from repro.service.scheduler import SweepScheduler
+from repro.service.journal import (
+    SERVE_PID_FILE,
+    SubmissionJournal,
+    acquire_pid_file,
+    release_pid_file,
+)
+from repro.service.scheduler import (
+    SchedulerDraining,
+    SchedulerSaturated,
+    SweepScheduler,
+)
 from repro.service.wire import metrics_ndjson_line, result_to_wire
 
 _MAX_BODY = 64 * 1024 * 1024  # a plan of thousands of jobs is still ~MBs
@@ -143,7 +158,9 @@ class SweepService:
         extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  409: "Conflict", 503: "Service Unavailable"}.get(status, "OK")
+                  409: "Conflict", 429: "Too Many Requests",
+                  500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
         headers = [
             f"HTTP/1.1 {status} {reason}",
             f"Content-Type: {content_type}",
@@ -175,14 +192,9 @@ class SweepService:
         scheduler = self.scheduler
 
         if method == "GET" and path == "/healthz":
-            await self._send_json(writer, 200, {"status": "ok"})
+            await self._send_json(writer, 200, scheduler.health())
         elif method == "POST" and path == "/submit":
-            if scheduler.draining:
-                await self._send_json(writer, 503, {"error": "draining"})
-                return
-            plan = SweepPlan.from_wire(json.loads(body.decode("utf-8")))
-            job_id = await scheduler.submit(plan)
-            await self._send_json(writer, 200, {"job_id": job_id})
+            await self._handle_submit(writer, body)
         elif method == "GET" and path.startswith("/status/"):
             await self._with_submission(
                 writer, path[len("/status/"):], lambda s: scheduler.status(s)
@@ -218,6 +230,54 @@ class SweepService:
             await self._send_json(
                 writer, 404, {"error": f"no route for {method} {path}"}
             )
+
+    async def _handle_submit(self, writer, body: bytes) -> None:
+        """Admit a plan; 429/503 + ``Retry-After`` on saturation/draining.
+
+        Accepts either the bare plan wire form (the PR 8 protocol, kept for
+        old clients) or ``{"plan": <wire>, "submission_key": <token>}``; the
+        key makes a retried submit after an ambiguous failure land on the
+        already-admitted submission instead of double-running the sweep.
+        """
+        payload = json.loads(body.decode("utf-8"))
+        submission_key = None
+        if isinstance(payload, dict) and "plan" in payload:
+            submission_key = payload.get("submission_key") or None
+            plan_wire = payload["plan"]
+        else:
+            plan_wire = payload
+        plan = SweepPlan.from_wire(plan_wire)
+        try:
+            job_id = await self.scheduler.submit(plan, submission_key=submission_key)
+        except SchedulerDraining as error:
+            self.scheduler.metrics.counter("http_503_served").inc()
+            await self._send_json_with_headers(
+                writer, 503, {"error": str(error)},
+                {"Retry-After": f"{error.retry_after:g}"},
+            )
+            return
+        except SchedulerSaturated as error:
+            self.scheduler.metrics.counter("http_429_served").inc()
+            await self._send_json_with_headers(
+                writer, 429, {"error": str(error)},
+                {"Retry-After": f"{error.retry_after:g}"},
+            )
+            return
+        await self._send_json(writer, 200, {"job_id": job_id})
+
+    async def _send_json_with_headers(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        headers: Dict[str, str],
+    ) -> None:
+        await self._send_response(
+            writer,
+            status,
+            (json.dumps(payload) + "\n").encode("utf-8"),
+            extra_headers=headers,
+        )
 
     async def _with_submission(self, writer, submission_id: str, fn) -> None:
         try:
@@ -288,6 +348,10 @@ async def run_service(
     decoder_artifact_dir: Optional[str] = None,
     address_file: Optional[str] = None,
     metrics: Optional[MetricsRegistry] = None,
+    journal_dir: Optional[str] = None,
+    max_pending_submissions: Optional[int] = None,
+    max_inflight_chunks: Optional[int] = None,
+    retry_after: float = 0.5,
 ) -> None:
     """Run the sweep service until ``POST /shutdown`` or SIGINT/SIGTERM.
 
@@ -295,6 +359,16 @@ async def run_service(
     migrates any flat-layout entries into shards, starts the scheduler and
     HTTP server, and optionally writes the bound URL to ``address_file`` so
     scripts using ``port=0`` can discover the port.
+
+    With ``journal_dir`` set, the scheduler journals every submission to a
+    durable WAL there and replays it on startup — a serve process killed
+    mid-sweep resumes its live submissions on restart with zero re-executed
+    completed chunks.  A ``serve.pid`` file in the journal directory (plus a
+    ``<address_file>.pid`` twin when ``address_file`` is given) stops a
+    second serve from double-running the same journal: starting against a
+    live pidfile raises, while a stale one (the owner was SIGKILLed) is
+    reclaimed.  ``max_pending_submissions`` / ``max_inflight_chunks`` arm
+    admission control (429 + ``Retry-After: retry_after`` when saturated).
     """
     store = None
     if cache_dir is not None:
@@ -302,30 +376,49 @@ async def run_service(
         migrated = store.migrate_flat_entries()
         if migrated:
             print(f"migrated {migrated} flat cache entr(ies) into shards")
-    scheduler = SweepScheduler(
-        store=store,
-        workers=workers,
-        metrics=metrics,
-        decoder_artifact_dir=decoder_artifact_dir,
-    )
-    await scheduler.start()
-    service = SweepService(scheduler, host=host, port=port)
-    await service.start()
-    print(f"eraser-repro sweep service listening on {service.url}", flush=True)
+    journal = None
+    pid_files = []
+    if journal_dir is not None:
+        journal = SubmissionJournal(journal_dir)
+        pid_path = journal.directory / SERVE_PID_FILE
+        acquire_pid_file(pid_path)
+        pid_files.append(pid_path)
     if address_file:
-        Path(address_file).write_text(service.url + "\n", encoding="utf-8")
-
-    loop = asyncio.get_running_loop()
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        try:
-            loop.add_signal_handler(signum, service.request_shutdown)
-        except (NotImplementedError, RuntimeError):
-            pass
+        address_pid = Path(str(address_file) + ".pid")
+        acquire_pid_file(address_pid)
+        pid_files.append(address_pid)
     try:
-        await service.wait_for_shutdown()
+        scheduler = SweepScheduler(
+            store=store,
+            workers=workers,
+            metrics=metrics,
+            decoder_artifact_dir=decoder_artifact_dir,
+            journal=journal,
+            max_pending_submissions=max_pending_submissions,
+            max_inflight_chunks=max_inflight_chunks,
+            retry_after=retry_after,
+        )
+        await scheduler.start()
+        service = SweepService(scheduler, host=host, port=port)
+        await service.start()
+        print(f"eraser-repro sweep service listening on {service.url}", flush=True)
+        if address_file:
+            Path(address_file).write_text(service.url + "\n", encoding="utf-8")
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await service.wait_for_shutdown()
+        finally:
+            await service.stop()
+            await scheduler.stop(drain=True)
     finally:
-        await service.stop()
-        await scheduler.stop(drain=True)
+        for pid_path in pid_files:
+            release_pid_file(pid_path)
 
 
 def serve_forever(**kwargs) -> None:

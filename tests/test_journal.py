@@ -1,0 +1,193 @@
+"""Submission journal: checksummed WAL, torn tails, compaction, PID file.
+
+Unit coverage for :mod:`repro.service.journal`, the durability layer that
+lets the Section 6 sweep service resume submissions after a SIGKILL.  The
+properties proven here — replay drops exactly the torn tail, compaction is
+atomic under a crash, the PID file refuses a live double-start but reclaims
+a stale one — are the ones the end-to-end chaos suite builds on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import zlib
+
+import pytest
+
+from repro.service.chaos import append_garbage, tear_journal_tail
+from repro.service.journal import (
+    SubmissionJournal,
+    acquire_pid_file,
+    decode_record,
+    encode_record,
+    pid_alive,
+    release_pid_file,
+)
+
+
+def accepted(serial, key=None, plan="plan-wire"):
+    return {
+        "event": "accepted",
+        "id": f"sweep-{serial:06d}",
+        "key": key,
+        "ts": 1.0,
+        "plan": plan,
+    }
+
+
+def terminal(serial, event="completed"):
+    return {"event": event, "id": f"sweep-{serial:06d}", "ts": 2.0}
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        payload = {"event": "accepted", "id": "sweep-000001", "plan": {"jobs": []}}
+        assert decode_record(encode_record(payload)) == payload
+
+    def test_checksum_covers_payload(self):
+        line = encode_record({"event": "accepted", "id": "sweep-000001"})
+        tampered = line[:-2] + ('"x' if line[-1] != '"' else '"y')
+        assert decode_record(tampered) is None
+
+    def test_rejects_malformed_lines(self):
+        assert decode_record("") is None
+        assert decode_record("deadbeef") is None
+        assert decode_record("nothexxx {}") is None
+        assert decode_record("00000000 {\"torn\": tru") is None
+        # Valid checksum over a non-object payload is still rejected.
+        text = json.dumps([1, 2, 3], separators=(",", ":"))
+        crc = zlib.crc32(text.encode()) & 0xFFFFFFFF
+        assert decode_record(f"{crc:08x} {text}") is None
+
+
+class TestReplay:
+    def test_missing_and_empty_journals_replay_to_nothing(self, tmp_path):
+        journal = SubmissionJournal(tmp_path / "j")
+        recovery = journal.replay()
+        assert recovery.live == {}
+        assert recovery.max_serial == 0
+        assert recovery.dropped == 0
+        journal.path.write_text("", encoding="utf-8")
+        assert journal.replay().live == {}
+
+    def test_terminal_events_retire_submissions(self, tmp_path):
+        journal = SubmissionJournal(tmp_path / "j")
+        journal.append(accepted(1))
+        journal.append(accepted(2, key="k2"))
+        journal.append(accepted(3))
+        journal.append({"event": "started", "id": "sweep-000002", "ts": 1.5})
+        journal.append(terminal(1, "completed"))
+        journal.append(terminal(3, "cancelled"))
+        recovery = journal.replay()
+        assert list(recovery.live) == ["sweep-000002"]
+        assert recovery.live["sweep-000002"]["key"] == "k2"
+        assert recovery.max_serial == 3
+        assert recovery.records == 6
+
+    def test_torn_tail_drops_only_the_tail(self, tmp_path):
+        journal = SubmissionJournal(tmp_path / "j")
+        journal.append(accepted(1))
+        journal.append(accepted(2))
+        journal.close()
+        tear_journal_tail(journal.path)
+        recovery = journal.replay()
+        assert list(recovery.live) == ["sweep-000001"]
+        assert recovery.dropped == 1
+
+    def test_garbage_tail_reads_as_torn(self, tmp_path):
+        journal = SubmissionJournal(tmp_path / "j")
+        journal.append(accepted(1))
+        journal.close()
+        append_garbage(journal.path)
+        append_garbage(journal.path)
+        recovery = journal.replay()
+        assert list(recovery.live) == ["sweep-000001"]
+        assert recovery.dropped == 2
+
+    def test_records_after_a_corrupt_line_are_not_trusted(self, tmp_path):
+        journal = SubmissionJournal(tmp_path / "j")
+        journal.append(accepted(1))
+        journal.close()
+        append_garbage(journal.path)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write(encode_record(accepted(2)) + "\n")
+        recovery = journal.replay()
+        assert list(recovery.live) == ["sweep-000001"]
+        assert recovery.dropped == 2
+
+
+class TestCompaction:
+    def test_maybe_compact_waits_for_threshold(self, tmp_path):
+        journal = SubmissionJournal(tmp_path / "j", compact_threshold=2)
+        journal.append(accepted(1))
+        journal.append(terminal(1))
+        assert not journal.maybe_compact([])
+        journal.append(accepted(2))
+        journal.append(terminal(2))
+        assert journal.maybe_compact([accepted(3)])
+        records, dropped = journal.records()
+        assert records == [accepted(3)]
+        assert dropped == 0
+
+    def test_compact_then_append_keeps_appending(self, tmp_path):
+        journal = SubmissionJournal(tmp_path / "j")
+        journal.append(accepted(1))
+        journal.compact([accepted(1)])
+        journal.append(terminal(1))
+        records, _ = journal.records()
+        assert [r["event"] for r in records] == ["accepted", "completed"]
+
+    def test_crash_mid_compaction_preserves_old_journal(self, tmp_path, monkeypatch):
+        journal = SubmissionJournal(tmp_path / "j")
+        journal.append(accepted(1))
+        journal.append(terminal(1))
+        journal.append(accepted(2))
+        before = journal.path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            journal.compact([accepted(2)])
+        monkeypatch.undo()
+        assert journal.path.read_bytes() == before
+        # No half-written temp files left behind as entries.
+        recovery = journal.replay()
+        assert list(recovery.live) == ["sweep-000002"]
+
+
+class TestPidFile:
+    def test_acquire_then_release(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        assert acquire_pid_file(path) == os.getpid()
+        assert int(path.read_text()) == os.getpid()
+        release_pid_file(path)
+        assert not path.exists()
+
+    def test_live_owner_refuses_double_start(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        # PID 1 (init) is always alive and is never this test process.
+        path.write_text("1\n", encoding="utf-8")
+        with pytest.raises(RuntimeError, match="already owns"):
+            acquire_pid_file(path)
+
+    def test_stale_pid_is_reclaimed(self, tmp_path):
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        path = tmp_path / "serve.pid"
+        path.write_text(f"{probe.pid}\n", encoding="utf-8")
+        assert not pid_alive(probe.pid)
+        assert acquire_pid_file(path) == os.getpid()
+
+    def test_release_leaves_foreign_pidfiles_alone(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        path.write_text("1\n", encoding="utf-8")
+        release_pid_file(path)
+        assert path.exists()
+
+    def test_reacquire_by_owner_is_idempotent(self, tmp_path):
+        path = tmp_path / "serve.pid"
+        acquire_pid_file(path)
+        assert acquire_pid_file(path) == os.getpid()

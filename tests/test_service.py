@@ -219,9 +219,12 @@ class TestErrorPaths:
 
     def test_draining_scheduler_rejects_submissions(self, tmp_path):
         async def body(client, scheduler, service):
+            # retries=0: a draining service answers 503, which a default
+            # client would (correctly) retry — here we want the rejection.
+            fail_fast = SweepServiceClient(service.url, retries=0)
             scheduler._draining = True
             with pytest.raises(ServiceError, match="draining"):
-                await asyncio.to_thread(client.submit, make_plan())
+                await asyncio.to_thread(fail_fast.submit, make_plan())
             scheduler._draining = False
 
         with_service(body, tmp_path=tmp_path)
@@ -229,6 +232,26 @@ class TestErrorPaths:
     def test_ping_false_when_unreachable(self):
         client = SweepServiceClient("http://127.0.0.1:9", timeout=0.5)
         assert not client.ping()
+
+    def test_wait_timeout_zero_checks_status_exactly_once(self, tmp_path):
+        async def body(client, scheduler, service):
+            def probe():
+                job_id = client.submit(make_plan(shots=4000))
+                checks = []
+                original = client.status
+                client.status = lambda jid: checks.append(jid) or original(jid)
+                try:
+                    with pytest.raises(TimeoutError):
+                        client.wait(job_id, timeout=0)
+                finally:
+                    client.status = original
+                client.cancel(job_id)
+                return checks
+
+            checks = await asyncio.to_thread(probe)
+            assert len(checks) == 1
+
+        with_service(body, tmp_path=tmp_path)
 
 
 class TestServiceExecutor:
