@@ -6,6 +6,13 @@ absolute LER values at p=1e-4 needs far more shots than a laptop run, so this
 benchmark reports the measured values and asserts only that the sweep runs
 and that the leakage population behaves (the LPR is well resolved even at
 small shot counts).
+
+For actually resolving this regime, use the adaptive path instead:
+``bench_adaptive_allocation.py`` runs the same grid under the sequential
+stopping rule from :mod:`repro.experiments.adaptive` (registry entry
+``ler-low-p-adaptive``), which drains the shot budget to the points whose
+Wilson intervals are still loose, and its rare-event estimator resolves
+LERs far below what direct sampling reaches at these budgets.
 """
 
 from conftest import emit

@@ -167,6 +167,45 @@ def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_adaptive_args(parser: argparse.ArgumentParser) -> None:
+    """Sequential stopping-rule knobs (sweeps that decode)."""
+    parser.add_argument(
+        "--target-ci-width",
+        type=float,
+        default=None,
+        metavar="HW",
+        help="Adaptive shot allocation: keep simulating each decode "
+        "configuration only until the 95%% Wilson interval on its LER has "
+        "half-width <= HW, then stop it early and drain the remaining "
+        "budget to still-loose configurations.  Perf-only: a stopped job's "
+        "result is bit-identical to a fixed run of the prefix it executed.",
+    )
+    parser.add_argument(
+        "--max-shots",
+        type=int,
+        default=None,
+        help="Per-configuration shot budget ceiling (overrides --shots). "
+        "Intended with --target-ci-width: set a generous ceiling and let "
+        "the stopping rule spend only what each configuration needs.",
+    )
+
+
+def _adaptive_config(args: argparse.Namespace):
+    """The AdaptiveConfig requested by --target-ci-width (None = fixed)."""
+    if getattr(args, "target_ci_width", None) is None:
+        return None
+    from repro.experiments.adaptive import AdaptiveConfig
+
+    return AdaptiveConfig(target_ci_halfwidth=args.target_ci_width)
+
+
+def _budget_shots(args: argparse.Namespace) -> int:
+    """The per-configuration shot budget (--max-shots overrides --shots)."""
+    if getattr(args, "max_shots", None) is not None:
+        return args.max_shots
+    return args.shots
+
+
 def _sweep_options(args: argparse.Namespace) -> dict:
     return dict(
         jobs=args.jobs,
@@ -195,7 +234,8 @@ def _cmd_ler(args: argparse.Namespace) -> int:
         policies=args.policies,
         p=args.p,
         cycles=args.cycles,
-        shots=args.shots,
+        shots=_budget_shots(args),
+        adaptive=_adaptive_config(args),
         transport_model=_transport(args.transport),
         seed=args.seed,
         engine=args.engine,
@@ -308,6 +348,52 @@ def _cmd_dm_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rare_event(args: argparse.Namespace) -> int:
+    """Rare-event LER estimation for the deep low-``p`` tail."""
+    from repro.experiments.adaptive import RareEventSampler, cross_check
+
+    sampler = RareEventSampler(
+        distance=args.distance,
+        rounds=args.rounds if args.rounds is not None else args.distance,
+        p=args.p,
+        decoder_method=args.decoder_method,
+    )
+    print(
+        f"rare-event model: d={sampler.distance}, rounds={sampler.rounds}, "
+        f"p={sampler.p:g}, {sampler.num_cells} error cells, "
+        f"conditioning on >= {sampler.min_events} events"
+    )
+    headers = ["method", "ler", "ci_low", "ci_high", "shots", "failures", "weight"]
+    if args.cross_check:
+        report = cross_check(
+            sampler,
+            direct_shots=args.direct_shots,
+            conditioned_shots=args.shots,
+            seed=args.seed if args.seed is not None else 0,
+        )
+        rows = [
+            [
+                est["method"],
+                est["ler"],
+                est["ci_low"],
+                est["ci_high"],
+                est["shots"],
+                est["failures"],
+                est["weight"],
+            ]
+            for est in (report["direct"], report["conditioned"])
+        ]
+        print(format_table(headers, rows, float_format="{:.3e}"))
+        print()
+        print(f"Wilson intervals overlap: {report['overlap']}")
+        return 0 if report["overlap"] else 1
+    estimator = getattr(sampler, args.method)
+    est = estimator(args.shots, seed=args.seed if args.seed is not None else 0)
+    rows = [[est.method, est.ler, est.ci_low, est.ci_high, est.shots, est.failures, est.weight]]
+    print(format_table(headers, rows, float_format="{:.3e}"))
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.action == "list":
         print(format_experiment_index())
@@ -328,7 +414,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         )
         return 1
     plan = spec.make_plan(
-        shots=args.shots,
+        shots=_budget_shots(args),
         max_distance=args.max_distance,
         seed=args.seed,
         chunk_shots=args.chunk_shots,
@@ -344,6 +430,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         resume=args.resume,
         decoder_artifact_dir=args.decoder_artifact_dir,
+        adaptive=_adaptive_config(args),
     )
     results = executor.run(plan)
     sweep = PolicySweepResult(list(results))
@@ -484,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ler = subparsers.add_parser("ler", help="LER vs distance (Figures 14/17)")
     _add_common_sweep_args(ler)
+    _add_adaptive_args(ler)
     ler.set_defaults(func=_cmd_ler)
 
     lpr = subparsers.add_parser("lpr", help="LPR time series (Figures 5/15/18)")
@@ -537,7 +625,52 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--max-distance", type=int, default=5)
     experiments.add_argument("--seed", type=int, default=None)
     _add_orchestration_args(experiments)
+    _add_adaptive_args(experiments)
     experiments.set_defaults(func=_cmd_experiments)
+
+    rare = subparsers.add_parser(
+        "rare-event",
+        help="Rare-event LER estimation (importance sampling / multilevel "
+        "splitting) for the deep low-p tail",
+    )
+    rare.add_argument("--distance", type=int, default=3)
+    rare.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="Syndrome-extraction rounds (default: --distance).",
+    )
+    rare.add_argument("--p", type=float, default=1e-4)
+    rare.add_argument("--shots", type=int, default=20000)
+    rare.add_argument("--seed", type=int, default=0)
+    rare.add_argument(
+        "--method",
+        choices=["direct", "conditioned", "stratified"],
+        default="conditioned",
+        help="Estimator: plain Monte-Carlo, importance sampling conditioned "
+        "on >= (d+1)//2 error events, or exact-count multilevel splitting.",
+    )
+    rare.add_argument(
+        "--decoder-method",
+        choices=["mwpm", "greedy"],
+        default="mwpm",
+        help="Matching engine (mwpm keeps the conditioned estimator exactly "
+        "unbiased: every discarded low-count shot is a guaranteed success).",
+    )
+    rare.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="Run direct and conditioned estimators side by side and exit "
+        "nonzero unless their Wilson intervals overlap (run at a p where "
+        "direct sampling still resolves the LER).",
+    )
+    rare.add_argument(
+        "--direct-shots",
+        type=int,
+        default=20000,
+        help="Shots for the direct estimator in --cross-check mode.",
+    )
+    rare.set_defaults(func=_cmd_rare_event)
 
     report = subparsers.add_parser(
         "report",

@@ -352,6 +352,24 @@ class SurfaceCodeDecoder:
         self._sync_artifact_stats()
         return corrections
 
+    def predict_corrections_batch(self, detectors: np.ndarray) -> np.ndarray:
+        """Predicted corrections for a ``(shots, layers, checks)`` batch.
+
+        The batched twin of :meth:`predict_correction`, for callers that
+        build detector matrices themselves (e.g. the rare-event estimator's
+        signature-table path in :mod:`repro.experiments.adaptive`) rather
+        than from raw measurements via :meth:`decode_batch`.  Runs through
+        the same layered dedup/LRU dispatch.
+        """
+        matrix = np.asarray(detectors, dtype=bool)
+        expected = (self.graph.num_layers, self.graph.num_checks)
+        if matrix.ndim != 3 or matrix.shape[1:] != expected:
+            raise ValueError(
+                f"detector batch must have shape (shots, {expected[0]}, "
+                f"{expected[1]}), got {matrix.shape}"
+            )
+        return self._corrections(matrix)
+
     def predict_correction(self, detectors: np.ndarray) -> int:
         """Predicted logical-observable correction for a detector matrix."""
         matrix = np.asarray(detectors, dtype=bool)

@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, as_completed, wait
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.experiments.adaptive import AdaptiveConfig, apply_adaptive, job_adaptive_config
 from repro.experiments.jobs import SweepJob, SweepPlan, merge_chunk_results
 from repro.experiments.metrics import MetricsRegistry
 from repro.experiments.results import MemoryExperimentResult
@@ -93,6 +94,12 @@ class SweepStats:
     #: Chunks reused from the crash-recovery spill store instead of being
     #: re-executed (service restarts only; ``0`` everywhere else).
     chunks_recovered: int = 0
+    #: Shots the sequential stopping rule skipped: the difference between
+    #: each adaptively-stopped job's planned budget and the shots it
+    #: actually needed to hit its Wilson-interval target.
+    shots_saved: int = 0
+    #: Jobs the stopping rule finalised before their full shot budget ran.
+    jobs_stopped_early: int = 0
 
     def merge(self, other: "SweepStats") -> "SweepStats":
         """Accumulate another run's statistics into this one (returns self)."""
@@ -102,6 +109,8 @@ class SweepStats:
         self.chunks_run += other.chunks_run
         self.elapsed_seconds += other.elapsed_seconds
         self.chunks_recovered += other.chunks_recovered
+        self.shots_saved += other.shots_saved
+        self.jobs_stopped_early += other.jobs_stopped_early
         if other.artifacts_prebuilt is not None:
             self.artifacts_prebuilt = (
                 self.artifacts_prebuilt or 0
@@ -118,6 +127,8 @@ class SweepStats:
             "elapsed_seconds": self.elapsed_seconds,
             "artifacts_prebuilt": self.artifacts_prebuilt,
             "chunks_recovered": self.chunks_recovered,
+            "shots_saved": self.shots_saved,
+            "jobs_stopped_early": self.jobs_stopped_early,
         }
 
     @classmethod
@@ -132,6 +143,8 @@ class SweepStats:
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             artifacts_prebuilt=None if artifacts is None else int(artifacts),
             chunks_recovered=int(payload.get("chunks_recovered", 0)),
+            shots_saved=int(payload.get("shots_saved", 0)),
+            jobs_stopped_early=int(payload.get("jobs_stopped_early", 0)),
         )
 
     def summary(self) -> str:
@@ -144,6 +157,11 @@ class SweepStats:
             text += f", {self.artifacts_prebuilt} decoder artifact(s) prebuilt"
         if self.chunks_recovered:
             text += f", {self.chunks_recovered} chunk(s) recovered"
+        if self.jobs_stopped_early:
+            text += (
+                f", {self.jobs_stopped_early} job(s) stopped early "
+                f"({self.shots_saved} shot(s) saved)"
+            )
         return text
 
 
@@ -193,6 +211,23 @@ class PlanExecution:
     landed — and because chunk streams are position-keyed, the recovered
     statistics are bit-identical to an uninterrupted run.  Spilled entries
     are deleted the moment their job's merged result persists.
+
+    **Adaptive mode.**  Jobs carrying a Wilson-interval target
+    (:func:`~repro.experiments.adaptive.job_adaptive_config`) switch the
+    execution to a sequential stopping rule: backends must then dispatch
+    work through :meth:`claim_tasks` (a chunk-index frontier) instead of
+    the eager :attr:`tasks` list, and after every recorded chunk the rule
+    looks for the smallest prefix length ``L >= min_chunks`` whose
+    cumulative Wilson half-width meets the job's target.  When one exists
+    the job finalises early: chunks ``0..L-1`` merge in a single
+    :func:`merge_chunk_results` call (bit-identical to a fixed run of
+    ``L * chunk_shots`` shots, by the position-keyed seed discipline) and
+    the result persists under the *prefix job's* cache key
+    (``replace(job, shots=L * chunk_shots)``), so a later fixed run of that
+    prefix — or a warm adaptive rerun, which probes prefix keys during
+    construction — is a pure cache hit.  The stop point depends only on
+    the chunk statistics, never on arrival order or worker count;
+    straggler chunks past the stop point are discarded on arrival.
     """
 
     def __init__(
@@ -213,7 +248,16 @@ class PlanExecution:
         self._remaining: Dict[int, int] = {}
         self._cached_chunks = 0
         self._recovered_chunks = 0
+        self._skipped_chunks = 0
+        self._adaptive: Dict[int, AdaptiveConfig] = {}
+        self._merge_base: Dict[int, MemoryExperimentResult] = {}
+        self._base_chunks: Dict[int, int] = {}
+        self._next_chunk: Dict[int, int] = {}
+        self._rr_cursor = 0
         for index, job in enumerate(plan.jobs):
+            config = job_adaptive_config(job) if job.decode else None
+            if config is not None:
+                self._adaptive[index] = config
             cached = store.load(job.cache_key()) if store is not None else None
             if cached is not None:
                 self.results[index] = cached
@@ -222,12 +266,74 @@ class PlanExecution:
                 if metrics is not None:
                     metrics.counter("chunks_cached").inc(job.num_chunks)
                     metrics.counter("sweep_jobs_cached").inc()
-            else:
-                self.pending.append(index)
-                self._remaining[index] = job.num_chunks
+                continue
+            if config is not None and store is not None:
+                prefix, length = self._probe_adaptive_prefix(job)
+                if (
+                    prefix is not None
+                    and length >= config.min_chunks
+                    and config.satisfied(prefix.logical_errors, prefix.shots)
+                ):
+                    # A previous adaptive run already stopped this job at
+                    # ``length`` chunks and its interval still meets the
+                    # target: a warm rerun is a pure cache hit.
+                    self.results[index] = prefix
+                    self.stats.cache_hits += 1
+                    self.stats.shots_saved += job.shots - prefix.shots
+                    self._cached_chunks += length
+                    self._skipped_chunks += job.num_chunks - length
+                    if metrics is not None:
+                        metrics.counter("chunks_cached").inc(length)
+                        metrics.counter("chunks_skipped").inc(job.num_chunks - length)
+                        metrics.counter("sweep_jobs_cached").inc()
+                    continue
+                if prefix is not None:
+                    # Cached prefix exists but no longer meets the (tighter)
+                    # target: reuse it as the merge base and only simulate
+                    # the chunks beyond it.  Counts are exact; merged LPR
+                    # float means may differ from an uninterrupted run by
+                    # final-rounding only.
+                    self._merge_base[index] = prefix
+                    self._base_chunks[index] = length
+                    self._cached_chunks += length
+                    if metrics is not None:
+                        metrics.counter("chunks_cached").inc(length)
+                    self.pending.append(index)
+                    self._remaining[index] = job.num_chunks - length
+                    self._next_chunk[index] = length
+                    continue
+            self.pending.append(index)
+            self._remaining[index] = job.num_chunks
         self.stats.jobs_run = len(self.pending)
         if chunk_store is not None:
             self._recover_spilled_chunks()
+
+    @property
+    def adaptive_mode(self) -> bool:
+        """True when any job carries a stopping-rule target.
+
+        Backends must then dispatch via :meth:`claim_tasks` so that chunks
+        past a job's (unknown-in-advance) stop point are never simulated.
+        """
+        return bool(self._adaptive)
+
+    def _probe_adaptive_prefix(
+        self, job: SweepJob
+    ) -> Tuple[Optional[MemoryExperimentResult], int]:
+        """Longest cached *prefix* of an adaptive job (result, chunk count).
+
+        An earlier adaptive run that stopped ``job`` at ``L`` chunks saved
+        its merged result under ``replace(job, shots=L * chunk_shots)`` —
+        the same content address a fixed run of that many shots would use.
+        Returns ``(None, 0)`` when no prefix is cached.
+        """
+        assert self.store is not None
+        for length in range(job.num_chunks - 1, 0, -1):
+            prefix_job = replace(job, shots=length * job.chunk_shots)
+            cached = self.store.load(prefix_job.cache_key())
+            if cached is not None:
+                return cached, length
+        return None, 0
 
     # ------------------------------------------------------------------
     def _chunk_key(self, job_index: int, chunk: int) -> str:
@@ -264,6 +370,46 @@ class PlanExecution:
             if (job_index, chunk) not in self._chunk_results
         ]
 
+    def claim_tasks(self, limit: int = 1) -> List[Tuple[int, int]]:
+        """Claim up to ``limit`` frontier chunks for execution (adaptive mode).
+
+        Unlike :attr:`tasks` (which eagerly lists every chunk of every
+        pending job), this hands out chunk indices incrementally,
+        round-robin across unfinished jobs, so the shot budget flows to the
+        jobs whose confidence intervals are still loose: a job that
+        finalises early simply stops being claimable and the worker slots
+        it would have occupied drain to the remaining jobs.  Chunks already
+        recorded (recovered spills, duplicate retries) are skipped.
+        """
+        claimed: List[Tuple[int, int]] = []
+        if limit <= 0:
+            return claimed
+        active = [index for index in self.pending if self.results[index] is None]
+        if not active:
+            return claimed
+        start = self._rr_cursor % len(active)
+        order = active[start:] + active[:start]
+        progressed = True
+        while len(claimed) < limit and progressed:
+            progressed = False
+            for job_index in order:
+                if len(claimed) >= limit:
+                    break
+                if self.results[job_index] is not None:
+                    continue
+                job = self.plan.jobs[job_index]
+                chunk = self._next_chunk.get(job_index, 0)
+                while chunk < job.num_chunks and (job_index, chunk) in self._chunk_results:
+                    chunk += 1
+                if chunk >= job.num_chunks:
+                    self._next_chunk[job_index] = chunk
+                    continue
+                self._next_chunk[job_index] = chunk + 1
+                claimed.append((job_index, chunk))
+                self._rr_cursor += 1
+                progressed = True
+        return claimed
+
     @property
     def is_complete(self) -> bool:
         return all(result is not None for result in self.results)
@@ -274,8 +420,17 @@ class PlanExecution:
 
     @property
     def chunks_done(self) -> int:
-        """Chunks accounted for so far (cached jobs count all their chunks)."""
-        return self.stats.chunks_run + self._cached_chunks + self._recovered_chunks
+        """Chunks accounted for so far (cached jobs count all their chunks).
+
+        Chunks the stopping rule skipped count as done — an early-stopped
+        job is finished, and progress displays should reach 100%.
+        """
+        return (
+            self.stats.chunks_run
+            + self._cached_chunks
+            + self._recovered_chunks
+            + self._skipped_chunks
+        )
 
     def prebuild_artifacts(self) -> None:
         """Build each pending decode job's decoder artifacts once, up-front."""
@@ -311,8 +466,31 @@ class PlanExecution:
         ``chunks_recovered`` instead of ``chunks_run``/``chunks_executed``.
         When a ``chunk_store`` is configured, every freshly-executed chunk
         except the job's last is spilled to it so a crash between job
-        completions loses nothing already simulated.
+        completions loses nothing already simulated.  (Adaptive jobs spill
+        *every* chunk — the stop point isn't known in advance, so any chunk
+        may turn out to be the last.)
+
+        A chunk arriving after its job already finalised early (an
+        in-flight straggler past the stop point) is counted as executed
+        but otherwise discarded — the stopping rule's result depends only
+        on the prefix.
         """
+        if self.results[job_index] is not None or job_index not in self._remaining:
+            # Job already finalised (adaptive early stop); straggler chunk.
+            # Its slot was counted as skipped at finalise time — move it to
+            # the executed/recovered column so chunks_done stays exact.
+            self._skipped_chunks = max(0, self._skipped_chunks - 1)
+            if recovered:
+                self._recovered_chunks += 1
+                self.stats.chunks_recovered += 1
+                if self.metrics is not None:
+                    self.metrics.counter("chunks_recovered").inc()
+            else:
+                self.stats.chunks_run += 1
+                if self.metrics is not None:
+                    self.metrics.counter("chunks_executed").inc()
+                    self.metrics.counter("chunks_discarded").inc()
+            return False
         duplicate = (job_index, chunk) in self._chunk_results
         self._chunk_results[(job_index, chunk)] = result
         if duplicate:
@@ -326,16 +504,28 @@ class PlanExecution:
             self.stats.chunks_run += 1
             if self.metrics is not None:
                 self.metrics.counter("chunks_executed").inc()
-            if self.chunk_store is not None and self._remaining[job_index] > 1:
+            if self.chunk_store is not None and (
+                self._remaining[job_index] > 1 or job_index in self._adaptive
+            ):
                 self.chunk_store.save(self._chunk_key(job_index, chunk), result)
         self._remaining[job_index] -= 1
         if self._remaining[job_index] > 0:
+            if job_index in self._adaptive:
+                return self._maybe_finalize_early(job_index)
             return False
+        if job_index in self._adaptive and self._maybe_finalize_early(job_index):
+            return True
         del self._remaining[job_index]
         job = self.plan.jobs[job_index]
-        merged = merge_chunk_results(
-            [self._chunk_results.pop((job_index, c)) for c in range(job.num_chunks)]
+        base_chunks = self._base_chunks.pop(job_index, 0)
+        parts: List[MemoryExperimentResult] = []
+        if job_index in self._merge_base:
+            parts.append(self._merge_base.pop(job_index))
+        parts.extend(
+            self._chunk_results.pop((job_index, c))
+            for c in range(base_chunks, job.num_chunks)
         )
+        merged = merge_chunk_results(parts)
         if self.store is not None:
             self.store.save(job.cache_key(), merged, config=job.config_dict())
         self.results[job_index] = merged
@@ -345,6 +535,98 @@ class PlanExecution:
             for spilled_chunk in range(job.num_chunks):
                 self.chunk_store.remove(self._chunk_key(job_index, spilled_chunk))
         return True
+
+    # -- adaptive stopping rule ----------------------------------------
+    def _maybe_finalize_early(self, job_index: int) -> bool:
+        """Apply the sequential stopping rule to ``job_index``.
+
+        Scans prefix lengths over the *contiguous* recorded prefix and
+        finalises at the smallest ``L >= min_chunks`` whose cumulative
+        Wilson half-width meets the job's target.  Because the scan always
+        walks lengths in ascending order over whatever prefix is contiguous
+        so far, the chosen stop point is a pure function of the chunk
+        statistics — independent of chunk arrival order and worker count.
+        Returns True when the job finalised.
+        """
+        config = self._adaptive[job_index]
+        if self.results[job_index] is not None:
+            return False
+        job = self.plan.jobs[job_index]
+        base = self._merge_base.get(job_index)
+        base_chunks = self._base_chunks.get(job_index, 0)
+        cum_errors = max(base.logical_errors, 0) if base is not None else 0
+        cum_shots = base.shots if base is not None else 0
+        length = base_chunks
+        while (job_index, length) in self._chunk_results:
+            part = self._chunk_results[(job_index, length)]
+            cum_errors += max(part.logical_errors, 0)
+            cum_shots += part.shots
+            length += 1
+            if length >= job.num_chunks:
+                break  # full job: the normal completion merge handles it
+            if length < config.min_chunks:
+                continue
+            if config.satisfied(cum_errors, cum_shots):
+                self._finalize_early(job_index, length, cum_errors, cum_shots)
+                return True
+        if self.metrics is not None and cum_shots > 0:
+            self.metrics.gauge(f"ler_ci_halfwidth_job{job_index}").set(
+                config.halfwidth(cum_errors, cum_shots)
+            )
+        return False
+
+    def _finalize_early(
+        self, job_index: int, length: int, errors: int, shots: int
+    ) -> None:
+        """Finalise an adaptive job at ``length`` chunks (< num_chunks).
+
+        The prefix merges in one :func:`merge_chunk_results` call and is
+        saved under the cache key of the equivalent *fixed* job
+        (``replace(job, shots=length * chunk_shots)``): by the
+        position-keyed seed discipline that fixed job would run exactly
+        these chunks, so the truncated result is bit-identical to it and
+        either run's cache entry serves the other.
+        """
+        job = self.plan.jobs[job_index]
+        config = self._adaptive[job_index]
+        base_chunks = self._base_chunks.pop(job_index, 0)
+        parts: List[MemoryExperimentResult] = []
+        if job_index in self._merge_base:
+            parts.append(self._merge_base.pop(job_index))
+        parts.extend(
+            self._chunk_results.pop((job_index, c)) for c in range(base_chunks, length)
+        )
+        merged = merge_chunk_results(parts)
+        prefix_shots = length * job.chunk_shots
+        if self.store is not None:
+            prefix_job = replace(job, shots=prefix_shots)
+            self.store.save(
+                prefix_job.cache_key(), merged, config=prefix_job.config_dict()
+            )
+        self.results[job_index] = merged
+        del self._remaining[job_index]
+        # Chunks past the stop point count as skipped — minus any that were
+        # already executed out of order (pool stragglers), whose slots are
+        # already in the executed column.
+        skipped = job.num_chunks - length - sum(
+            1
+            for c in range(length, job.num_chunks)
+            if (job_index, c) in self._chunk_results
+        )
+        self._skipped_chunks += skipped
+        self.stats.shots_saved += job.shots - prefix_shots
+        self.stats.jobs_stopped_early += 1
+        if self.metrics is not None:
+            self.metrics.counter("jobs_stopped_early").inc()
+            self.metrics.counter("shots_saved").inc(job.shots - prefix_shots)
+            self.metrics.counter("chunks_skipped").inc(skipped)
+            self.metrics.counter("sweep_jobs_completed").inc()
+            self.metrics.gauge(f"ler_ci_halfwidth_job{job_index}").set(
+                config.halfwidth(errors, shots)
+            )
+        if self.chunk_store is not None:
+            for spilled_chunk in range(job.num_chunks):
+                self.chunk_store.remove(self._chunk_key(job_index, spilled_chunk))
 
     def finish(self, elapsed_seconds: float) -> SweepStats:
         """Stamp the elapsed time and return the final statistics."""
@@ -375,6 +657,14 @@ class SweepExecutor:
         metrics: Optional :class:`~repro.experiments.metrics.MetricsRegistry`
             counting chunk/cache traffic and per-chunk latency (the same
             registry the sweep service snapshots over its API).
+        adaptive: Optional :class:`~repro.experiments.adaptive.AdaptiveConfig`
+            applied to every decode job in the plan (jobs carrying their own
+            targets keep them).  Enables the sequential stopping rule: each
+            job runs only until the Wilson interval on its logical error
+            rate is tighter than the target, and the shot budget drains to
+            the jobs whose intervals are still loose.  Perf-only: job cache
+            identity is unchanged, and an early-stopped job's result is
+            bit-identical to a fixed run of the prefix it executed.
 
     After :meth:`run`, :attr:`last_stats` reports cache hits and the number of
     chunks actually simulated (``0`` on a fully-cached rerun).
@@ -388,6 +678,7 @@ class SweepExecutor:
         store: Optional[ResultStore] = None,
         decoder_artifact_dir: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -398,6 +689,7 @@ class SweepExecutor:
         self.store = store
         self.decoder_artifact_dir = decoder_artifact_dir
         self.metrics = metrics
+        self.adaptive = adaptive
         self.last_stats = SweepStats()
 
     # ------------------------------------------------------------------
@@ -409,30 +701,72 @@ class SweepExecutor:
         """Execute ``plan`` and return results in plan order."""
         started = time.perf_counter()
         plan = apply_decoder_artifact_dir(plan, self.decoder_artifact_dir)
+        plan = apply_adaptive(plan, self.adaptive)
         execution = PlanExecution(plan, store=self.store, metrics=self.metrics)
         # Build each unique decoding graph's APSP/frame tables once, here, so
         # the fan-out below (including every pool worker) loads them back as
         # shared memory maps instead of recomputing per process.
         execution.prebuild_artifacts()
-        tasks = execution.tasks
 
-        if self.jobs > 1 and len(tasks) > 1:
-            workers = min(self.jobs, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_execute_chunk, plan.jobs[job_index], chunk): (job_index, chunk)
-                    for job_index, chunk in tasks
-                }
-                for future in as_completed(futures):
-                    job_index, chunk = futures[future]
-                    execution.record_chunk(job_index, chunk, future.result())
+        if execution.adaptive_mode:
+            self._run_adaptive(plan, execution)
         else:
-            # tasks are job-major, so each job completes (and is saved) before
-            # the next one starts.
-            for job_index, chunk in tasks:
-                execution.record_chunk(
-                    job_index, chunk, _execute_chunk(plan.jobs[job_index], chunk)
-                )
+            tasks = execution.tasks
+            if self.jobs > 1 and len(tasks) > 1:
+                workers = min(self.jobs, len(tasks))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(_execute_chunk, plan.jobs[job_index], chunk): (job_index, chunk)
+                        for job_index, chunk in tasks
+                    }
+                    for future in as_completed(futures):
+                        job_index, chunk = futures[future]
+                        execution.record_chunk(job_index, chunk, future.result())
+            else:
+                # tasks are job-major, so each job completes (and is saved)
+                # before the next one starts.
+                for job_index, chunk in tasks:
+                    execution.record_chunk(
+                        job_index, chunk, _execute_chunk(plan.jobs[job_index], chunk)
+                    )
 
         self.last_stats = execution.finish(time.perf_counter() - started)
         return execution.results  # type: ignore[return-value]
+
+    def _run_adaptive(self, plan: SweepPlan, execution: PlanExecution) -> None:
+        """Drive an adaptive execution through its chunk frontier.
+
+        Serial mode claims one chunk at a time, so a job executes exactly up
+        to its stop point.  Pool mode keeps ``jobs`` chunks in flight and
+        refills after every completion; up to ``jobs - 1`` straggler chunks
+        past a stop point may execute and be discarded — the *recorded*
+        statistics are unaffected (the stop point is arrival-order
+        independent), only a bounded amount of surplus work is done.
+        """
+        if self.jobs > 1:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures: Dict[object, Tuple[int, int]] = {}
+
+                def refill() -> None:
+                    for job_index, chunk in execution.claim_tasks(
+                        self.jobs - len(futures)
+                    ):
+                        future = pool.submit(_execute_chunk, plan.jobs[job_index], chunk)
+                        futures[future] = (job_index, chunk)
+
+                refill()
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        job_index, chunk = futures.pop(future)
+                        execution.record_chunk(job_index, chunk, future.result())
+                    refill()
+        else:
+            while True:
+                claimed = execution.claim_tasks(1)
+                if not claimed:
+                    break
+                job_index, chunk = claimed[0]
+                execution.record_chunk(
+                    job_index, chunk, _execute_chunk(plan.jobs[job_index], chunk)
+                )

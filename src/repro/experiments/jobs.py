@@ -133,6 +133,31 @@ class SweepJob:
     #: the same reason: the store only changes where the decoding-graph
     #: tables come from, never a single correction.
     decoder_artifact_dir: Optional[str] = None
+    #: Sequential stopping rule (``repro.experiments.adaptive``): stop
+    #: dispatching chunks once the Wilson interval on the job's LER is
+    #: tighter than this absolute half-width.  Excluded from
+    #: :meth:`config_dict`: adaptivity only decides *how many* of the job's
+    #: position-keyed chunks run, never the content of any chunk, so a
+    #: truncated run is bit-identical to the prefix of a fixed run and is
+    #: cached under that prefix job's address.
+    target_ci_halfwidth: Optional[float] = None
+    #: Relative variant of the stopping target: stop once the Wilson
+    #: half-width falls below ``target_rel_halfwidth * LER-hat`` (only
+    #: meaningful once at least one failure was observed).  Perf-only,
+    #: excluded from identity like :attr:`target_ci_halfwidth`.
+    target_rel_halfwidth: Optional[float] = None
+    #: Minimum chunks the stopping rule must observe before it may stop
+    #: (``None`` = the module default).  Perf-only, excluded from identity.
+    adaptive_min_chunks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shots < 1:
+            raise ValueError(
+                f"shots must be >= 1, got {self.shots}: a zero-shot job has "
+                "no Monte-Carlo stream and would cache a degenerate result"
+            )
+        if self.chunk_shots < 1:
+            raise ValueError(f"chunk_shots must be >= 1, got {self.chunk_shots}")
 
     # ------------------------------------------------------------------
     # Identity
@@ -205,6 +230,9 @@ class SweepJob:
             "decoder_dp_threshold": self.decoder_dp_threshold,
             "decoder_cache_size": self.decoder_cache_size,
             "decoder_artifact_dir": self.decoder_artifact_dir,
+            "target_ci_halfwidth": self.target_ci_halfwidth,
+            "target_rel_halfwidth": self.target_rel_halfwidth,
+            "adaptive_min_chunks": self.adaptive_min_chunks,
         }
 
     @classmethod

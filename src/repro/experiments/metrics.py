@@ -96,7 +96,20 @@ class SpeculationCounts:
 
 
 def binomial_stderr(successes: int, trials: int) -> float:
-    """Standard error of a binomial proportion estimate."""
+    """Standard error of a binomial proportion estimate.
+
+    .. warning::
+        The plug-in estimate degenerates at the boundary: with zero observed
+        successes (or zero failures) it returns exactly ``0.0``, which is
+        *not* zero uncertainty — it is the regime where the normal
+        approximation breaks down entirely.  Low-LER sweep points that saw no
+        logical error land exactly here, which is how reports used to render
+        impossible zero-width error bars.  For honest uncertainty at the
+        boundary use :func:`wilson_interval`, whose upper bound at zero
+        successes stays strictly positive (the "rule of three": roughly
+        ``3 / trials``).  This function is kept for backward compatibility
+        and for well-populated interior points where it matches Wilson.
+    """
     if trials <= 0:
         return float("nan")
     rate = successes / trials
@@ -113,13 +126,38 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float
     margin = z * math.sqrt((phat * (1.0 - phat) + z * z / (4 * trials)) / trials)
     low = max(0.0, (centre - margin) / denom)
     high = min(1.0, (centre + margin) / denom)
+    # Pin the degenerate boundaries exactly: float rounding in centre-margin
+    # can otherwise leave low ~ 1e-18 above the point estimate of 0.0 (and
+    # symmetrically at all-successes), breaking interval containment.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
     return (low, high)
 
 
+def wilson_halfwidth(successes: int, trials: int, z: float = 1.96) -> float:
+    """Half the width of :func:`wilson_interval` (the stopping-rule statistic).
+
+    Unlike :func:`binomial_stderr` this stays strictly positive at the
+    boundary (zero successes out of ``n`` trials still leaves a rule-of-three
+    sized upper bound), so a sequential stopping rule driven by it can never
+    be fooled into declaring a zero-failure point "resolved" after one chunk.
+    """
+    low, high = wilson_interval(successes, trials, z=z)
+    return (high - low) / 2.0
+
+
 def improvement_factor(baseline: float, improved: float) -> float:
-    """Multiplicative improvement ``baseline / improved`` (paper's "Nx better")."""
+    """Multiplicative improvement ``baseline / improved`` (paper's "Nx better").
+
+    ``0 / 0`` is undefined — two configurations that both saw zero events
+    carry no evidence either way — so it returns ``nan`` rather than the
+    previous (wrong) ``inf``.  A genuinely positive baseline over a zero
+    improved rate is still ``inf``.
+    """
     if improved <= 0.0:
-        return float("inf")
+        return float("nan") if baseline <= 0.0 else float("inf")
     return baseline / improved
 
 

@@ -78,6 +78,24 @@ def _compare_plan(p, decode=True, transport=LeakageTransportModel.REMAIN):
     return build
 
 
+#: Wilson half-width target of the ``ler-low-p-adaptive`` entry.  Loose
+#: enough that the quick CI settings (a few hundred shots per job) reach it
+#: and stop early, tight enough that the stopping rule is exercised (a
+#: zero-failure job needs ~75 shots before the Wilson upper bound drops
+#: under it: halfwidth(0, n) ~= 1.92 / (n + 3.84)).
+LOW_P_ADAPTIVE_TARGET = 2.5e-2
+
+
+def _plan_low_p_adaptive(shots, max_distance, seed, chunk_shots) -> SweepPlan:
+    """The fig14b grid with a stopping-rule target stamped on every job."""
+    from repro.experiments.adaptive import AdaptiveConfig, apply_adaptive
+
+    plan = _compare_plan(1e-4)(shots, max_distance, seed, chunk_shots)
+    return apply_adaptive(
+        plan, AdaptiveConfig(target_ci_halfwidth=LOW_P_ADAPTIVE_TARGET)
+    )
+
+
 def _plan_fig15(shots, max_distance, seed, chunk_shots) -> SweepPlan:
     from repro.experiments.sweep import DEFAULT_POLICIES, lpr_time_series_plan
 
@@ -286,6 +304,15 @@ _SPECS = (
         ("repro.experiments.sweep",),
         "benchmarks/bench_fig14b_low_error_rate.py",
         plan=_compare_plan(1e-4),
+        render=_render("ler_vs_distance"),
+    ),
+    ExperimentSpec(
+        "ler-low-p-adaptive",
+        "LER vs distance at p=1e-4 under the sequential stopping rule",
+        "memory-Z, d=3..5, 10 cycles, Wilson half-width target 2.5e-2",
+        ("repro.experiments.adaptive", "repro.experiments.sweep"),
+        "benchmarks/bench_adaptive_allocation.py",
+        plan=_plan_low_p_adaptive,
         render=_render("ler_vs_distance"),
     ),
     ExperimentSpec(

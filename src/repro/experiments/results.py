@@ -57,12 +57,29 @@ class MemoryExperimentResult:
 
     @property
     def logical_error_rate_stderr(self) -> float:
+        """Plug-in binomial standard error of the LER.
+
+        Degenerate at the boundary: a zero-failure run reports exactly
+        ``0.0``, which is a breakdown of the normal approximation rather
+        than zero uncertainty (see
+        :func:`~repro.experiments.metrics.binomial_stderr`).  Kept for
+        backward compatibility; uncertainty reporting should prefer
+        :attr:`logical_error_rate_interval`, whose upper bound stays
+        strictly positive at zero observed failures.
+        """
         if self.logical_errors < 0:
             return float("nan")
         return binomial_stderr(self.logical_errors, self.shots)
 
     @property
-    def logical_error_rate_interval(self):
+    def logical_error_rate_interval(self) -> Tuple[float, float]:
+        """95% Wilson score interval ``(low, high)`` on the LER.
+
+        Well-behaved where :attr:`logical_error_rate_stderr` is not: at zero
+        observed failures the upper bound is still roughly ``3.84 /
+        (shots + 3.84)`` (the rule of three), so low-LER points carry honest,
+        nonzero-width error bars.
+        """
         if self.logical_errors < 0:
             return (float("nan"), float("nan"))
         return wilson_interval(self.logical_errors, self.shots)
@@ -159,6 +176,8 @@ class MemoryExperimentResult:
             "logical_errors": self.logical_errors,
             "logical_error_rate": self.logical_error_rate,
             "ler_stderr": self.logical_error_rate_stderr,
+            "ler_ci_low": self.logical_error_rate_interval[0],
+            "ler_ci_high": self.logical_error_rate_interval[1],
             "mean_lpr": self.mean_lpr,
             "final_lpr": self.final_lpr,
             "lrcs_per_round": self.lrcs_per_round,

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.qsg import PROTOCOL_SWAP
+from repro.experiments.adaptive import AdaptiveConfig
 from repro.experiments.executor import SweepExecutor, warn_unseeded_cache
 from repro.experiments.jobs import SweepJob, SweepPlan
 from repro.experiments.results import MemoryExperimentResult, PolicySweepResult
@@ -49,6 +50,7 @@ def _executor(
     executor: Optional[SweepExecutor],
     seed: RngLike = None,
     decoder_artifact_dir: Optional[str] = None,
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> SweepExecutor:
     if executor is not None:
         return executor
@@ -58,6 +60,7 @@ def _executor(
         cache_dir=cache_dir,
         resume=resume,
         decoder_artifact_dir=decoder_artifact_dir,
+        adaptive=adaptive,
     )
 
 
@@ -180,6 +183,7 @@ def run_single(
     decoder_artifact_dir: Optional[str] = None,
     code_family: Optional[str] = None,
     noise_profile=None,
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> MemoryExperimentResult:
     """Run one (distance, policy) configuration and return its result."""
     plan = run_single_plan(
@@ -205,7 +209,7 @@ def run_single(
         noise_profile=noise_profile,
     )
     return _executor(
-        jobs, cache_dir, resume, executor, seed, decoder_artifact_dir
+        jobs, cache_dir, resume, executor, seed, decoder_artifact_dir, adaptive
     ).run(plan)[0]
 
 
@@ -281,8 +285,15 @@ def compare_policies(
     decoder_artifact_dir: Optional[str] = None,
     code_family: Optional[str] = None,
     noise_profile=None,
+    adaptive: Optional[AdaptiveConfig] = None,
 ) -> PolicySweepResult:
-    """Sweep policies across code distances (the shape behind Figures 14-17, 20)."""
+    """Sweep policies across code distances (the shape behind Figures 14-17, 20).
+
+    ``adaptive`` enables the sequential stopping rule on every decode job
+    (see :mod:`repro.experiments.adaptive`): each (distance, policy) point
+    runs only until the Wilson interval on its LER meets the target, which
+    is what makes the low-``p`` Figure 14(b) regime affordable.
+    """
     plan = compare_policies_plan(
         distances=distances,
         policies=policies,
@@ -305,7 +316,7 @@ def compare_policies(
         noise_profile=noise_profile,
     )
     results = _executor(
-        jobs, cache_dir, resume, executor, seed, decoder_artifact_dir
+        jobs, cache_dir, resume, executor, seed, decoder_artifact_dir, adaptive
     ).run(plan)
     return PolicySweepResult(list(results))
 

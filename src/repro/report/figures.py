@@ -95,11 +95,17 @@ def save_line_figure(
     xlabel: str,
     ylabel: str,
     logy: bool = False,
+    error_bounds: Optional[Mapping[str, Sequence[Sequence[float]]]] = None,
 ) -> bool:
     """Render one multi-series line plot to ``path``.
 
     ``series`` maps a series name to its y values and ``x_values`` to the
-    matching x positions.  Returns ``False`` (nothing written) when
+    matching x positions.  ``error_bounds`` optionally maps a series name to
+    a ``(lows, highs)`` pair of *absolute* confidence bounds (same length as
+    the y values) rendered as asymmetric error bars — the Wilson intervals
+    of LER sweeps are asymmetric by construction, and at zero observed
+    failures only the upper bar is visible (the honest picture the old
+    symmetric-stderr bars hid).  Returns ``False`` (nothing written) when
     matplotlib is unavailable.
     """
     if not matplotlib_available():
@@ -109,11 +115,25 @@ def save_line_figure(
     fig.patch.set_facecolor(_SURFACE)
     _style_axes(ax)
     for index, (name, ys) in enumerate(series.items()):
+        color = series_color(name, index)
+        xs = list(x_values[name])
+        ys = list(ys)
+        bounds = (error_bounds or {}).get(name)
+        if bounds is not None:
+            lows, highs = bounds
+            yerr = [
+                [max(y - lo, 0.0) if lo == lo else 0.0 for y, lo in zip(ys, lows)],
+                [max(hi - y, 0.0) if hi == hi else 0.0 for y, hi in zip(ys, highs)],
+            ]
+            ax.errorbar(
+                xs, ys, yerr=yerr, color=color, linewidth=0.0,
+                elinewidth=1.2, capsize=2.5, zorder=2,
+            )
         ax.plot(
-            list(x_values[name]),
-            list(ys),
+            xs,
+            ys,
             label=name,
-            color=series_color(name, index),
+            color=color,
             linewidth=2.0,
             marker="o",
             markersize=4.5,

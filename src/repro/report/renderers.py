@@ -72,7 +72,8 @@ def _sweep_detail_table(spec, results: Sequence[MemoryExperimentResult]) -> Tabl
     """Long-form per-configuration CSV detail shared by every sweep renderer."""
     headers = [
         "policy", "distance", "rounds", "p", "shots", "logical_errors",
-        "logical_error_rate", "ler_stderr", "mean_lpr", "final_lpr",
+        "logical_error_rate", "ler_stderr", "ler_ci_low", "ler_ci_high",
+        "mean_lpr", "final_lpr",
         "lrcs_per_round", "speculation_accuracy", "false_positive_rate",
         "false_negative_rate",
     ]
@@ -104,6 +105,13 @@ def render_ler_vs_distance(spec, ctx: RenderContext) -> ExperimentArtifact:
     distances = sweep.distances()
     policies = sweep.policies()
 
+    # Wilson bounds per (policy, distance): the error bars on the figure.
+    # Using the interval (not the plug-in stderr) keeps zero-failure points
+    # honest — their upper bar stays visible instead of collapsing to zero.
+    ci: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    for result in results:
+        ci.setdefault(result.policy, {})[result.distance] = result.logical_error_rate_interval
+
     wide = TableResult(
         experiment_id=spec.experiment_id,
         title=f"{spec.experiment_id}: logical error rate vs code distance",
@@ -112,7 +120,8 @@ def render_ler_vs_distance(spec, ctx: RenderContext) -> ExperimentArtifact:
     )
     figure = _figure(
         ctx, spec, spec.experiment_id,
-        "Logical error rate vs code distance (log scale), one line per policy.",
+        "Logical error rate vs code distance (log scale), one line per policy; "
+        "error bars are 95% Wilson intervals.",
         lambda path: save_line_figure(
             path,
             series={p: [ler[p][d] for d in sorted(ler[p])] for p in policies},
@@ -121,6 +130,13 @@ def render_ler_vs_distance(spec, ctx: RenderContext) -> ExperimentArtifact:
             xlabel="code distance",
             ylabel="logical error rate",
             logy=True,
+            error_bounds={
+                p: (
+                    [ci[p][d][0] for d in sorted(ler[p])],
+                    [ci[p][d][1] for d in sorted(ler[p])],
+                )
+                for p in policies
+            },
         ),
     )
 

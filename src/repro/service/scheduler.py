@@ -185,6 +185,8 @@ class SweepSubmission:
             "chunks_done": execution.chunks_done,
             "chunks_executed": execution.stats.chunks_run,
             "chunks_recovered": execution.stats.chunks_recovered,
+            "shots_saved": execution.stats.shots_saved,
+            "jobs_stopped_early": execution.stats.jobs_stopped_early,
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
@@ -403,8 +405,17 @@ class SweepScheduler:
             submission.started = time.time()
             self._journal_event("started", submission)
             await asyncio.to_thread(execution.prebuild_artifacts)
-            for job_index, chunk in execution.tasks:
-                self._queue.put_nowait((submission, job_index, chunk, 0))
+            if execution.adaptive_mode:
+                # Sequential stopping rule: dispatch an initial frontier of
+                # chunks (enough to saturate the pool) instead of every
+                # chunk eagerly; _run_chunk refills one task per recorded
+                # chunk, so jobs that stop early simply stop being claimed
+                # and the budget drains to still-loose jobs.
+                for job_index, chunk in execution.claim_tasks(self.workers):
+                    self._queue.put_nowait((submission, job_index, chunk, 0))
+            else:
+                for job_index, chunk in execution.tasks:
+                    self._queue.put_nowait((submission, job_index, chunk, 0))
         self._update_gauges()
         return submission_id
 
@@ -622,6 +633,12 @@ class SweepScheduler:
             await asyncio.to_thread(
                 submission.execution.record_chunk, job_index, chunk, result
             )
+            if submission.execution.adaptive_mode and submission.state == STATE_RUNNING:
+                # Refill the frontier: one freshly-claimed chunk per recorded
+                # chunk keeps the in-flight count constant until the stopping
+                # rule (or plain completion) dries the claimable set up.
+                for next_job, next_chunk in submission.execution.claim_tasks(1):
+                    self._queue.put_nowait((submission, next_job, next_chunk, 0))
         if submission.execution.is_complete:
             self._finish(submission)
 

@@ -22,6 +22,7 @@ class TestRegistryContents:
             "fig2c", "eq1-2", "table2", "fig5", "fig6", "fig8", "fig14", "fig14b",
             "fig15", "fig16", "table3", "table4", "fig17", "fig20", "ablations",
             "ler-vs-bias", "ler-heterogeneous", "repetition-baseline",
+            "ler-low-p-adaptive",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -64,6 +65,7 @@ class TestSweepPlans:
         "fig2c", "fig5", "fig6", "fig14", "fig14b", "fig15", "fig16",
         "table4", "fig17", "fig20", "ablations",
         "ler-vs-bias", "ler-heterogeneous", "repetition-baseline",
+        "ler-low-p-adaptive",
     }
 
     def test_monte_carlo_experiments_have_plans(self):
